@@ -1,0 +1,19 @@
+"""Fig 3: 3-D diffusion, single thread — Java vs C++ vs C.
+
+The paper's motivating measurement: "Java and C++ are more than ten times
+slower than C.  It reveals that the main source of the performance overhead
+is not Java but object orientation."
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig03_oo_overhead(benchmark):
+    s = run_series(benchmark, figures.fig03)
+    t = {row[0]: row[1] for row in s.rows}
+    # the paper's shape: both OO programs are >10x slower than C
+    assert t["java"] > 10 * t["c-ref"]
+    assert t["cpp"] > 2 * t["c-ref"]
+    # and the interpreter is far slower than compiled-but-virtual C++
+    assert t["java"] > t["cpp"]

@@ -1,0 +1,19 @@
+"""Fig 4: diffusion weak scaling on CPUs over MPI (all five comparators)."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig04_diffusion_weak_cpu(benchmark):
+    s = run_series(benchmark, figures.fig04)
+    for row in s.rows:
+        p, c, cpp, tpl, novirt, woot, eff = row
+        # virtual-call C++ is the worst translated variant at every scale
+        assert cpp > woot
+        assert cpp > tpl
+        # WootinJ stays in c-ref's league (well under the cpp gap)
+        assert woot < 0.5 * cpp
+    # weak scaling holds far better for every variant than the per-rank
+    # slowdown a non-parallel implementation would show (T ~ p)
+    first, last = s.rows[0], s.rows[-1]
+    assert last[5] < first[5] * last[0] / 2  # wootinj: T(p) << p*T(1)

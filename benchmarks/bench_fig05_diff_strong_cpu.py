@@ -1,0 +1,18 @@
+"""Fig 5: diffusion strong scaling on CPUs — C vs WootinJ."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig05_diffusion_strong_cpu(benchmark):
+    s = run_series(benchmark, figures.fig05)
+    c_times = s.column("c-ref_s")
+    w_times = s.column("wootinj_s")
+    ranks = s.column("ranks")
+    # strong scaling: more ranks shrink the fixed problem's time
+    assert w_times[-1] < w_times[0]
+    assert c_times[-1] < c_times[0]
+    # WootinJ tracks C within a small factor at every point (paper:
+    # "comparable to the C programs written by hand")
+    for c, w in zip(c_times, w_times):
+        assert w < 4 * c

@@ -1,0 +1,13 @@
+"""Fig 7: diffusion strong scaling on GPUs — C vs WootinJ."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig07_diffusion_strong_gpu(benchmark):
+    s = run_series(benchmark, figures.fig07)
+    w_times = s.column("wootinj_s")
+    c_times = s.column("c-ref_s")
+    assert w_times[-1] < w_times[0]  # strong scaling shrinks the runtime
+    for c, w in zip(c_times, w_times):
+        assert w < 4 * c + 1e-5

@@ -1,0 +1,12 @@
+"""Fig 9: matmul (Fox) weak scaling on CPUs over MPI."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig09_matmul_weak_cpu(benchmark):
+    s = run_series(benchmark, figures.fig09)
+    for row in s.rows:
+        p, c, cpp, tpl, novirt, woot, eff = row
+        assert cpp > woot  # paper: WootinJ >> plain C++
+        assert woot < 0.7 * cpp

@@ -1,0 +1,13 @@
+"""Fig 10: matmul (Fox) strong scaling on CPUs — C vs WootinJ."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig10_matmul_strong_cpu(benchmark):
+    s = run_series(benchmark, figures.fig10)
+    w_times = s.column("wootinj_s")
+    c_times = s.column("c-ref_s")
+    assert w_times[-1] < w_times[0]
+    for c, w in zip(c_times, w_times):
+        assert w < 4 * c

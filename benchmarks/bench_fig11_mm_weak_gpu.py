@@ -1,0 +1,14 @@
+"""Fig 11: matmul (Fox) weak scaling on GPUs."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig11_matmul_weak_gpu(benchmark):
+    s = run_series(benchmark, figures.fig11)
+    for row in s.rows:
+        p, c, tpl, woot, eff = row
+        # paper: "Template always showed similar performance to the WootinJ
+        # program" on GPUs
+        assert abs(woot - tpl) < max(woot, tpl)
+        assert woot < 4 * c + 1e-5

@@ -1,0 +1,10 @@
+"""Fig 12: matmul (Fox) strong scaling on GPUs — C vs WootinJ."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig12_matmul_strong_gpu(benchmark):
+    s = run_series(benchmark, figures.fig12)
+    w_times = s.column("wootinj_s")
+    assert w_times[-1] < w_times[0]

@@ -1,0 +1,18 @@
+"""Figs 13-16: strong scaling excluding JIT compilation time.
+
+Paper §4.3: compilation time is constant and independent of problem size;
+excluding it, WootinJ matches hand-written C.
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig13_16_compile_amortization(benchmark):
+    s = run_series(benchmark, figures.fig13_16)
+    for ranks, c_s, excl_s, incl_s in s.rows:
+        assert incl_s > excl_s          # compilation adds a constant
+        assert excl_s < 4 * c_s         # excl-compile tracks C
+    # the compile constant is the same at every scale (size-independent)
+    consts = [incl - excl for _, _, excl, incl in s.rows]
+    assert max(consts) < 10 * max(min(consts), 1e-9) or max(consts) < 1.0

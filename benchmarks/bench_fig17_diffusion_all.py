@@ -1,0 +1,13 @@
+"""Fig 17: 3-D diffusion, single thread, all six program families."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig17_diffusion_all_comparators(benchmark):
+    s = run_series(benchmark, figures.fig17)
+    t = {row[0]: row[1] for row in s.rows}
+    assert t["java"] > t["cpp"] > t["wootinj"]
+    # paper: WootinJ comparable to template metaprogramming and to C
+    assert t["wootinj"] < 2.5 * min(t["template"], t["template-novirt"]) + 1e-5
+    assert t["wootinj"] < 4 * t["c-ref"]

@@ -1,0 +1,11 @@
+"""Fig 18: matrix multiplication, single thread, all six families."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig18_matmul_all_comparators(benchmark):
+    s = run_series(benchmark, figures.fig18)
+    ppu = {row[0]: row[3] for row in s.rows}  # per-unit ns
+    assert ppu["java"] > ppu["cpp"] > ppu["wootinj"]
+    assert ppu["wootinj"] < 4 * ppu["c-ref"]

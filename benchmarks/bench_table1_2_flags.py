@@ -1,0 +1,11 @@
+"""Tables 1-2: compiler options per comparator (gcc analogues)."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_table1_2_compiler_flags(benchmark):
+    s = run_series(benchmark, figures.table1_2)
+    assert len(s.rows) == 4
+    flags = dict(s.rows)
+    assert "-O3" in flags["WootinJ / C"]

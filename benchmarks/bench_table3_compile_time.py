@@ -1,0 +1,20 @@
+"""Table 3: JIT compilation time (translate + external C compiler).
+
+Paper: "about four to five seconds ... independent of the problem size."
+On a modern gcc the absolute numbers are smaller; the shape assertions are
+that compilation is sub-linear in nothing (constant-ish per program) and
+dominated by the external compiler, as the paper discusses.
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_table3_compile_time(benchmark):
+    s = run_series(benchmark, figures.table3)
+    assert len(s.rows) == 4
+    for name, translate_s, cc_s, total_s, n_fns in s.rows:
+        assert total_s > 0
+        assert n_fns >= 3
+        # seconds-scale, not minutes (JIT-friendly)
+        assert total_s < 30

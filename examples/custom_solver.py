@@ -1,0 +1,142 @@
+"""Extending the library: write your own physics and your own generator.
+
+The paper's productivity claim is that a user adds *one leaf class per
+feature* (a solver subclass, Listing 1) and everything else — runners,
+buffering, MPI, GPU — composes around it.  Here we add an anisotropic
+diffusion solver (different conductivity per axis) and a block-impulse
+generator, run them on the stock CPU+MPI runner, and compare the translated
+comparator family on the custom physics.
+
+Run:  python examples/custom_solver.py
+"""
+
+import numpy as np
+
+from repro import OptLevel, f32, jit4mpi, wootin
+from repro.library.stencil import (
+    EmptyContext,
+    Generator,
+    ScalarFloat,
+    StencilCPU3D_MPI,
+    ThreeDIndexer,
+    ThreeDSolver,
+)
+from repro.library.stencil.config import make_grid3d
+from repro.lang import Array, i64
+
+NX = NY = 16
+NZL = 8
+RANKS = 2
+STEPS = 4
+
+
+@wootin
+class AnisoDiffusion(ThreeDSolver):
+    """du/dt = kx uxx + ky uyy + kz uzz — one leaf class, like Listing 1."""
+
+    cc: f32
+    cx: f32
+    cy: f32
+    cz: f32
+
+    def __init__(self, cx: f32, cy: f32, cz: f32):
+        super().__init__()
+        self.cc = 1.0 - 2.0 * (cx + cy + cz)
+        self.cx = cx
+        self.cy = cy
+        self.cz = cz
+
+    def solve(
+        self,
+        c: ScalarFloat,
+        xm: ScalarFloat,
+        xp: ScalarFloat,
+        ym: ScalarFloat,
+        yp: ScalarFloat,
+        zm: ScalarFloat,
+        zp: ScalarFloat,
+        context: EmptyContext,
+    ) -> ScalarFloat:
+        v = (
+            self.cc * c.val()
+            + self.cx * (xm.val() + xp.val())
+            + self.cy * (ym.val() + yp.val())
+            + self.cz * (zm.val() + zp.val())
+        )
+        return ScalarFloat(v)
+
+
+@wootin
+class BlockImpulseGen(Generator):
+    """A 2x2x2 block of heat in the middle of the global domain."""
+
+    nx: i64
+    ny: i64
+    nzl: i64
+    nranks: i64
+
+    def __init__(self, nx: i64, ny: i64, nzl: i64, nranks: i64):
+        super().__init__()
+        self.nx = nx
+        self.ny = ny
+        self.nzl = nzl
+        self.nranks = nranks
+
+    def fill(self, arr: Array(f32), rank: i64) -> None:
+        n = self.nx * self.ny * (self.nzl + 2)
+        for i in range(n):
+            arr[i] = 0.0
+        zc = (self.nzl * self.nranks) // 2
+        z0 = rank * self.nzl
+        for dz in range(2):
+            gz = zc + dz
+            if gz >= z0:
+                if gz < z0 + self.nzl:
+                    lz = gz - z0 + 1
+                    for dy in range(2):
+                        for dx in range(2):
+                            x = self.nx // 2 + dx
+                            y = self.ny // 2 + dy
+                            arr[x + self.nx * (y + self.ny * lz)] = 1.0
+
+
+def build():
+    return StencilCPU3D_MPI(
+        AnisoDiffusion(0.08, 0.04, 0.02),
+        make_grid3d(NX, NY, NZL + 2),
+        ThreeDIndexer(NX, NY, NZL + 2),
+        BlockImpulseGen(NX, NY, NZL, RANKS),
+        EmptyContext(),
+    )
+
+
+def main():
+    # correctness: translated vs interpreted execution of the same library
+    app = build()
+    code = jit4mpi(app, "run", STEPS).set4mpi(RANKS)
+    res = code.invoke()
+    print(f"translated checksum: {res.value:.6f} "
+          f"(sim wall {res.sim_time*1e6:.1f} us)")
+    print("total heat conserved?",
+          np.isclose(res.value, 8.0, atol=1e-3),
+          "(interior Dirichlet loss is negligible after 4 steps)")
+
+    # the comparator family on *your* physics — the ablation is generic
+    print("\ncomparators on the custom solver (1 rank):")
+    for opt in (OptLevel.FULL, OptLevel.NOVIRT, OptLevel.DEVIRT, OptLevel.VIRTUAL):
+        app = StencilCPU3D_MPI(
+            AnisoDiffusion(0.08, 0.04, 0.02),
+            make_grid3d(NX, NY, NZL * RANKS + 2),
+            ThreeDIndexer(NX, NY, NZL * RANKS + 2),
+            BlockImpulseGen(NX, NY, NZL * RANKS, 1),
+            EmptyContext(),
+        )
+        code = jit4mpi(app, "run", STEPS, opt=opt).set4mpi(1)
+        r = code.invoke()
+        secs = float(r.outputs[0]["secs"][0])
+        print(f"  {opt.value:8s} stepping {secs*1e6:9.1f} us  "
+              f"checksum {r.value:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Fox's algorithm over simulated MPI, with CPU and GPU inner kernels
+(paper §4.2, Fig. 8, Listing 6).
+
+Demonstrates the mutually-referential composition C++ templates could not
+express: ``MPIThread`` holds a ``FoxAlgorithm`` body, and the body's ``run``
+receives the thread back and fetches its inner calculator through a virtual
+call — all of which the translator devirtualizes statically.
+
+Run:  python examples/matmul_fox.py
+"""
+
+import numpy as np
+
+from repro import jit4mpi
+from repro.library.matmul import (
+    FoxAlgorithm,
+    GpuCalculator,
+    MPIThread,
+    OptimizedCalculator,
+    make_matrix,
+)
+
+P = 4               # ranks (q x q grid, q = 2)
+M = 24              # local block edge -> global 48 x 48
+
+
+def global_matrix(ng, seed):
+    i, j = np.meshgrid(np.arange(ng), np.arange(ng), indexing="ij")
+    state = ((i * ng + j + 1) * (seed + 7)) % 2147483648
+    state = (state * 1103515245 + 12345) % 2147483648
+    return state / 2147483648.0 - 0.5
+
+
+def run_fox(inner, label):
+    q = int(P ** 0.5)
+    a, b, c = make_matrix(M), make_matrix(M), make_matrix(M)
+    app = MPIThread(FoxAlgorithm(), inner)
+    code = jit4mpi(app, "start_generated", a, b, c)
+    code.set4mpi(P)
+    res = code.invoke()
+
+    ng = q * M
+    got = np.zeros((ng, ng))
+    for r in range(P):
+        row, col = r // q, r % q
+        got[row * M:(row + 1) * M, col * M:(col + 1) * M] = (
+            res.outputs[r]["c"].reshape(M, M)
+        )
+    ref = global_matrix(ng, 1) @ global_matrix(ng, 2)
+    assert np.allclose(got, ref), f"{label}: result mismatch"
+    print(f"{label:22s} checksum {res.value:+.6f}  "
+          f"sim wall {res.sim_time*1e3:.3f} ms  "
+          f"comm {max(res.comm_times)*1e6:.0f} us  "
+          f"device {max(res.device_times)*1e6:.0f} us")
+    return res
+
+
+def main():
+    print(f"Fox algorithm, {P} ranks ({int(P**0.5)}x{int(P**0.5)} grid), "
+          f"{M}x{M} blocks, global {int(P**0.5)*M}^2\n")
+    run_fox(OptimizedCalculator(), "CPU (ikj kernel)")
+    run_fox(GpuCalculator(), "GPU (per-element)")
+    print("\nboth compositions reproduce numpy's A @ B ✓")
+
+
+if __name__ == "__main__":
+    main()

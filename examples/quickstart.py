@@ -1,0 +1,135 @@
+"""Quickstart — the paper's Listing 3/4, transliterated.
+
+A library user writes two small components (a data generator and a
+per-element solver), composes them with a library-provided Stencil class,
+and JIT-translates the composed ``run`` method.  The printed generated C
+shows the paper's Listing 5 effect: the ``solver.solve`` dynamic dispatch is
+gone (devirtualized into a direct call) and the composed object has
+disappeared entirely (object inlining).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Array,
+    CudaConfig,
+    MPI,
+    cuda,
+    dim3,
+    f32,
+    f64,
+    global_kernel,
+    i64,
+    jit4mpi,
+    wj,
+    wootin,
+)
+
+
+# --- the class library (normally shipped, written by library developers) ---
+
+@wootin
+class Generator:
+    """Interface: produce the initial data grid."""
+
+    def __init__(self):
+        pass
+
+    def make(self, arr: Array(f32), length: i64, seed: i64) -> None:
+        pass
+
+
+@wootin
+class Solver:
+    """Interface: the kernel operation applied to every grid element."""
+
+    def __init__(self):
+        pass
+
+    def solve(self, self_v: f32, index: i64) -> f32:
+        return self_v
+
+
+@wootin
+class StencilOnGpuAndMPI:
+    """The paper's Listing 4: a one-point stencil running its kernel on the
+    (simulated) GPU, one rank per (simulated) node."""
+
+    generator: Generator
+    solver: Solver
+
+    def __init__(self, generator: Generator, solver: Solver):
+        self.generator = generator
+        self.solver = solver
+
+    @global_kernel
+    def run_gpu(self, conf: CudaConfig, array: Array(f32)) -> None:
+        x = cuda.tid_x()
+        array[x] = self.solver.solve(array[x], x)
+
+    def run(self, length: i64, update_cnt: i64) -> f64:
+        rank = MPI.rank()
+        array = wj.zeros(f32, length)
+        self.generator.make(array, length, rank)
+        array_on_gpu = cuda.copy_to_gpu(array)
+        conf = CudaConfig(dim3(1, 1, 1), dim3(length, 1, 1))
+        for i in range(update_cnt):
+            self.run_gpu(conf, array_on_gpu)
+        back = cuda.copy_from_gpu(array_on_gpu)
+        total = 0.0
+        for i in range(length):
+            total = total + back[i]
+        total = MPI.allreduce_sum(total)
+        wj.output("array", back)
+        cuda.free_gpu(array_on_gpu)
+        return total
+
+
+# --- what the library user writes (the paper's Listing 3) ------------------
+
+@wootin
+class PhysDataGen(Generator):
+    def __init__(self):
+        super().__init__()
+
+    def make(self, arr: Array(f32), length: i64, seed: i64) -> None:
+        for i in range(length):
+            arr[i] = 1.0 + float(seed)
+
+
+@wootin
+class PhysSolver(Solver):
+    a: f32
+
+    def __init__(self, a: f32):
+        super().__init__()
+        self.a = a
+
+    def solve(self, self_v: f32, index: i64) -> f32:
+        return self_v * self.a + float(index)
+
+
+def main():
+    length, update_cnt = 64, 3
+
+    generator = PhysDataGen()
+    solver = PhysSolver(0.5)
+    stencil = StencilOnGpuAndMPI(generator, solver)
+
+    # the paper's  WootinJ.jit4mpi(stencil, "run", length, updateCnt)
+    code = jit4mpi(stencil, "run", length, update_cnt)
+    code.set4mpi(4)  # the paper's code.set4MPI(128, "./nodeList")
+    result = code.invoke()
+
+    print("== generated code (the paper's Listing 5) ==")
+    print(code.source)
+    print(f"compile: translate {code.report.translate_s*1e3:.1f} ms + "
+          f"cc {code.report.backend_compile_s*1e3:.1f} ms "
+          f"({code.report.n_specializations} specializations)")
+    print(f"result (allreduced checksum): {result.value:.3f}")
+    print(f"simulated wall-clock over 4 ranks: {result.sim_time*1e6:.1f} us")
+    print(f"rank 0 array head: {result.output('array')[:6]}")
+
+
+if __name__ == "__main__":
+    main()

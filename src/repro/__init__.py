@@ -1,0 +1,86 @@
+"""repro — reproduction of "A Framework for Multiplatform HPC Applications"
+(WootinJ; Ioki & Chiba, PMAM/PPoPP 2014).
+
+A JIT framework that translates a restricted, statically-analyzable subset
+of Python (standing in for the paper's restricted Java) into C — with
+aggressive devirtualization and object inlining enabled by the paper's
+coding rules — plus simulated CUDA and MPI substrates and the paper's two
+class libraries (stencil computation and matrix multiplication).
+
+Public surface::
+
+    from repro import (
+        wootin, global_kernel, shared, foreign,     # guest annotations
+        i32, i64, f32, f64, boolean, Array,         # guest types
+        MPI, cuda, wj, wjmath,                      # guest intrinsics
+        dim3, CudaConfig,                           # launch configuration
+        jit, jit4mpi, jit4gpu, OptLevel,            # the JIT engine
+        mpirun,                                     # simulated-MPI launcher
+    )
+"""
+
+from repro.errors import (
+    BackendError,
+    CodingRuleViolation,
+    CudaError,
+    JitError,
+    LoweringError,
+    MpiError,
+    ReproError,
+    TypeFlowError,
+)
+from repro.lang import (
+    Array,
+    boolean,
+    device_fn,
+    f32,
+    f64,
+    foreign,
+    global_kernel,
+    i32,
+    i64,
+    shared,
+    wj,
+    wootin,
+)
+from repro.lang.intrinsics import wjmath
+from repro.cuda import CudaConfig, cuda, dim3
+from repro.mpi import MPI, mpirun
+from repro.jit import InvokeResult, JitCode, OptLevel, jit, jit4gpu, jit4mpi
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Array",
+    "BackendError",
+    "CodingRuleViolation",
+    "CudaConfig",
+    "CudaError",
+    "InvokeResult",
+    "JitCode",
+    "JitError",
+    "LoweringError",
+    "MPI",
+    "MpiError",
+    "OptLevel",
+    "ReproError",
+    "TypeFlowError",
+    "boolean",
+    "cuda",
+    "device_fn",
+    "dim3",
+    "f32",
+    "f64",
+    "foreign",
+    "global_kernel",
+    "i32",
+    "i64",
+    "jit",
+    "jit4gpu",
+    "jit4mpi",
+    "mpirun",
+    "shared",
+    "wj",
+    "wjmath",
+    "wootin",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+    python -m repro info                       # environment & calibration
+    python -m repro list                       # available experiments
+    python -m repro run fig04 [fig17 ...]      # regenerate experiments
+    python -m repro report [PATH]              # rewrite EXPERIMENTS.md
+    python -m repro translate-demo             # show a sample translation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(args) -> int:
+    """Print environment, backend, and workload summary."""
+    import repro
+    from repro.backends.cbackend.build import cc_version, compiler_available
+    from repro.bench.workloads import current, paper_sizes
+
+    print(f"repro {repro.__version__} — WootinJ reproduction "
+          f"(Ioki & Chiba, PMAM/PPoPP 2014)")
+    print(f"C compiler        : {cc_version()}")
+    print(f"C backend         : {'available' if compiler_available() else 'unavailable (py fallback)'}")
+    print(f"workload sizes    : {'paper' if paper_sizes() else 'CI (REPRO_PAPER_SIZES=1 for paper sizes)'}")
+    w = current()
+    print(f"  diffusion single: {w.diff_nx}x{w.diff_ny}x{w.diff_nzg} x{w.diff_steps} steps")
+    print(f"  matmul single   : {w.mm_n}^3")
+    if args.calibrate:
+        from repro.mpi.calibrate import callback_entry_overhead
+
+        print(f"callback overhead : {callback_entry_overhead()*1e6:.2f} us "
+              f"(deducted per runtime op)")
+    return 0
+
+
+def _figure_table() -> dict:
+    from repro.bench import figures
+
+    return {
+        name: getattr(figures, name)
+        for name in figures.__all__
+        if name not in ("all_experiments",)
+    }
+
+
+def cmd_list(args) -> int:
+    """List the regenerable experiments with their one-line captions."""
+    for name, fn in sorted(_figure_table().items()):
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:10s} {doc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run the named experiments and print/save their series."""
+    from repro.bench.harness import save_series
+
+    table = _figure_table()
+    unknown = [e for e in args.experiments if e not in table]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(table)}", file=sys.stderr)
+        return 2
+    for name in args.experiments:
+        series = table[name]()
+        save_series(series)
+        print(series.render())
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Regenerate EXPERIMENTS.md (all experiments)."""
+    from repro.bench.report import main as report_main
+
+    report_main(args.path)
+    return 0
+
+
+def cmd_translate_demo(args) -> int:
+    """Translate a sample library program and print the generated code."""
+    from repro import jit
+    from repro.library.stencil import (
+        EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,
+    )
+    from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+
+    app = StencilCPU3D(
+        make_dif3d_solver(), make_grid3d(8, 8, 6), ThreeDIndexer(8, 8, 6),
+        SineGen(8, 8, 4, 1), EmptyContext(),
+    )
+    code = jit(app, "run", 2, backend=args.backend, use_cache=False)
+    print(code.source)
+    print(f"// {code.report.n_specializations} specializations, "
+          f"opt stats: {code.report.opt_stats}", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="environment summary")
+    p_info.add_argument("--calibrate", action="store_true",
+                        help="also run the callback-overhead calibration")
+    p_info.set_defaults(fn=cmd_info)
+
+    p_list = sub.add_parser("list", help="list experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments by id")
+    p_run.add_argument("experiments", nargs="+")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_demo = sub.add_parser("translate-demo",
+                            help="print a sample translation")
+    p_demo.add_argument("--backend", default="auto",
+                        choices=["auto", "c", "py"])
+    p_demo.set_defaults(fn=cmd_translate_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Code-generation backends.
+
+* :mod:`repro.backends.cbackend` — the paper's path: emit C99, compile with
+  the system C compiler, load via ctypes, call with deep-copied arguments.
+  Supports all optimization levels (the ablation that realizes the paper's
+  C++/Template/WootinJ comparators).
+* :mod:`repro.backends.pybackend` — emit flat specialized Python and
+  ``exec`` it.  Portable fallback and differential-testing oracle; always
+  full optimization.
+"""
+
+from repro.backends.base import Backend, CompiledProgram, OptLevel
+
+__all__ = ["Backend", "CompiledProgram", "OptLevel"]

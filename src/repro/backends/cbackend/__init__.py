@@ -1,0 +1,12 @@
+"""C backend: the paper's translation path.
+
+Generated C99 is compiled by the system C compiler and loaded through
+ctypes; translated code talks back to the host (MPI, GPU timing, outputs)
+only through a table of function pointers — the same narrow interface the
+paper's generated C has to MPI/CUDA libraries.
+"""
+
+from repro.backends.cbackend.backend import CBackend
+from repro.backends.cbackend.build import compiler_available
+
+__all__ = ["CBackend", "compiler_available"]

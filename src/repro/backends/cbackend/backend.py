@@ -1,0 +1,35 @@
+"""The C backend driver: emit → compile → load."""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, CompiledProgram, OptLevel
+from repro.backends.cbackend.build import compile_shared_object
+from repro.backends.cbackend.bridge import CCompiled
+from repro.backends.cbackend.emit import CProgramEmitter
+from repro.jit.program import Program
+
+__all__ = ["CBackend"]
+
+
+class CBackend(Backend):
+    """Emit C99, compile with the system compiler, load via ctypes."""
+
+    name = "c"
+
+    def __init__(self, *, bounds_checks: bool | None = None):
+        # the paper's translated code has no array bounds checks (§3.3
+        # "Other issues"); a debug build can turn them on (also via
+        # REPRO_BOUNDS=1)
+        import os
+
+        if bounds_checks is None:
+            bounds_checks = os.environ.get("REPRO_BOUNDS", "") not in ("", "0")
+        self.bounds_checks = bounds_checks
+
+    def compile(self, program: Program, opt: OptLevel) -> CompiledProgram:
+        result = CProgramEmitter(
+            program, opt, bounds_checks=self.bounds_checks
+        ).emit()
+        so_path, _cached = compile_shared_object(result.source, opt)
+        return CCompiled(so_path, result, result.source,
+                         bounds_checks=self.bounds_checks)

@@ -1,0 +1,265 @@
+"""ctypes bridge: load the compiled .so and run it.
+
+The translated program sees the host only through the ``WjEnv`` callback
+table (layout mirroring ``prelude.PRELUDE``'s ``WjEnv``).  Per rank and per
+invocation the bridge builds fresh callback thunks bound to that rank's
+:class:`~repro.jit.runtime.RuntimeEnv`, fills the flattened array-slot
+pointer/length vectors from the rank's deep copies, hands the generated code
+an opaque snapshot buffer to materialize into, and reads the typed return
+value back out.
+
+MPI payloads cross as zero-copy NumPy views over the C memory, so the
+simulated communicator exchanges the *actual translated data* — this is what
+lets tests bit-compare C-backend MPI runs against sequential references.
+"""
+
+from __future__ import annotations
+
+import ctypes as ct
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import CompiledProgram
+from repro.backends.cbackend.emit import EmitResult
+from repro.errors import BackendError
+from repro.lang import types as _t
+
+__all__ = ["CCompiled", "WjEnvStruct"]
+
+_DT_NP = {1: np.float32, 2: np.float64, 3: np.int32, 4: np.int64, 5: np.uint8}
+
+# callback prototypes — order and signatures must match prelude's WjEnv
+_FN_RANK = ct.CFUNCTYPE(ct.c_int64, ct.c_void_p)
+_FN_SEND = ct.CFUNCTYPE(None, ct.c_void_p, ct.c_void_p, ct.c_int64, ct.c_int32, ct.c_int64, ct.c_int64)
+_FN_RECV = _FN_SEND
+_FN_SENDRECV = ct.CFUNCTYPE(
+    None, ct.c_void_p, ct.c_void_p, ct.c_int64, ct.c_int64,
+    ct.c_void_p, ct.c_int64, ct.c_int64, ct.c_int32, ct.c_int64,
+)
+_FN_VOID = ct.CFUNCTYPE(None, ct.c_void_p)
+_FN_ALLRED = ct.CFUNCTYPE(ct.c_double, ct.c_void_p, ct.c_double)
+_FN_ALLRED_ARR = ct.CFUNCTYPE(None, ct.c_void_p, ct.c_void_p, ct.c_int64, ct.c_int32)
+_FN_BCAST = ct.CFUNCTYPE(None, ct.c_void_p, ct.c_void_p, ct.c_int64, ct.c_int32, ct.c_int64)
+_FN_GATHER = ct.CFUNCTYPE(
+    None, ct.c_void_p, ct.c_void_p, ct.c_int64, ct.c_void_p, ct.c_int64, ct.c_int32, ct.c_int64
+)
+_FN_WTIME = ct.CFUNCTYPE(ct.c_double, ct.c_void_p)
+_FN_TRANSFER = ct.CFUNCTYPE(None, ct.c_void_p, ct.c_int64)
+_FN_OUTPUT = ct.CFUNCTYPE(None, ct.c_void_p, ct.c_char_p, ct.c_void_p, ct.c_int64, ct.c_int32)
+
+
+class WjEnvStruct(ct.Structure):
+    """ctypes mirror of the prelude's WjEnv callback table."""
+
+    _fields_ = [
+        ("h", ct.c_void_p),
+        ("mpi_rank", _FN_RANK),
+        ("mpi_size", _FN_RANK),
+        ("mpi_send", _FN_SEND),
+        ("mpi_recv", _FN_RECV),
+        ("mpi_sendrecv", _FN_SENDRECV),
+        ("mpi_barrier", _FN_VOID),
+        ("mpi_allreduce_sum", _FN_ALLRED),
+        ("mpi_allreduce_sum_arr", _FN_ALLRED_ARR),
+        ("mpi_bcast", _FN_BCAST),
+        ("mpi_gather", _FN_GATHER),
+        ("mpi_wtime", _FN_WTIME),
+        ("kernel_begin", _FN_VOID),
+        ("kernel_end", _FN_VOID),
+        ("gpu_transfer", _FN_TRANSFER),
+        ("output", _FN_OUTPUT),
+    ]
+
+
+_EMPTY = {dt: np.empty(0, dtype=np_dt) for dt, np_dt in _DT_NP.items()}
+
+
+@lru_cache(maxsize=4096)
+def _char_array_type(nbytes: int):
+    # creating a ctypes array *type* is expensive; sizes repeat heavily
+    # (halo planes, blocks), so cache them
+    return ct.c_char * nbytes
+
+
+def _view(p, count, dt) -> np.ndarray:
+    """Zero-copy NumPy view over translated-code memory."""
+    dt = int(dt)
+    count = int(count)
+    if count == 0:
+        return _EMPTY[dt]
+    np_dt = _DT_NP[dt]
+    buf = _char_array_type(count * np.dtype(np_dt).itemsize).from_address(p)
+    return np.frombuffer(buf, dtype=np_dt)
+
+
+def _make_env(env) -> tuple[WjEnvStruct, list]:
+    """Build the callback table for one rank (refs returned to keep the
+    thunks alive during the native call).
+
+    Every callback first notes the native→host transition so the calibrated
+    instrumentation cost is deducted from the rank's compute segment (see
+    repro.mpi.calibrate).
+    """
+
+    def metered(fn):
+        def wrapped(*args):
+            env.note_native_entry()
+            return fn(*args)
+
+        return wrapped
+
+    def mpi_rank(h):
+        return env.mpi_rank()
+
+    def mpi_size(h):
+        return env.mpi_size()
+
+    def mpi_send(h, p, count, dt, dest, tag):
+        env.mpi_send(_view(p, count, dt), dest, tag)
+
+    def mpi_recv(h, p, count, dt, src, tag):
+        env.mpi_recv(_view(p, count, dt), src, tag)
+
+    def mpi_sendrecv(h, sp, sc, dest, rp, rc, src, dt, tag):
+        env.mpi_sendrecv(_view(sp, sc, dt), dest, _view(rp, rc, dt), src, tag)
+
+    def mpi_barrier(h):
+        env.mpi_barrier()
+
+    def mpi_allreduce_sum(h, v):
+        return env.mpi_allreduce_sum(v)
+
+    def mpi_allreduce_sum_arr(h, p, count, dt):
+        env.mpi_allreduce_sum_array(_view(p, count, dt))
+
+    def mpi_bcast(h, p, count, dt, root):
+        env.mpi_bcast(_view(p, count, dt), root)
+
+    def mpi_gather(h, p, count, out, outcount, dt, root):
+        env.mpi_gather(_view(p, count, dt), _view(out, outcount, dt), root)
+
+    def mpi_wtime(h):
+        return env.mpi_wtime()
+
+    def kernel_begin(h):
+        env.kernel_begin()
+
+    def kernel_end(h):
+        env.kernel_end()
+
+    def gpu_transfer(h, nbytes):
+        env.gpu_transfer(nbytes)
+
+    def output(h, label, p, count, dt):
+        env.output(label.decode(), _view(p, count, dt))
+
+    thunks = [
+        _FN_RANK(metered(mpi_rank)),
+        _FN_RANK(metered(mpi_size)),
+        _FN_SEND(metered(mpi_send)),
+        _FN_RECV(metered(mpi_recv)),
+        _FN_SENDRECV(metered(mpi_sendrecv)),
+        _FN_VOID(metered(mpi_barrier)),
+        _FN_ALLRED(metered(mpi_allreduce_sum)),
+        _FN_ALLRED_ARR(metered(mpi_allreduce_sum_arr)),
+        _FN_BCAST(metered(mpi_bcast)),
+        _FN_GATHER(metered(mpi_gather)),
+        _FN_WTIME(metered(mpi_wtime)),
+        _FN_VOID(metered(kernel_begin)),
+        _FN_VOID(metered(kernel_end)),
+        _FN_TRANSFER(metered(gpu_transfer)),
+        _FN_OUTPUT(metered(output)),
+    ]
+    struct = WjEnvStruct(None, *thunks)
+    return struct, thunks
+
+
+class CCompiled(CompiledProgram):
+    """A loaded, callable translated program."""
+
+    def __init__(self, so_path, emit: EmitResult, source: str, *,
+                 bounds_checks: bool = False):
+        self.so_path = str(so_path)
+        self.emit_result = emit
+        self.source = source
+        self.bounds_checks = bounds_checks
+        self._lib = ct.CDLL(self.so_path)
+        self._lib.wj_oob_count_take.restype = ct.c_int64
+        self._lib.wj_oob_count_take.argtypes = []
+        self._lib.wj_snap_size.restype = ct.c_int64
+        self._lib.wj_snap_size.argtypes = []
+        self._snap_size = int(self._lib.wj_snap_size())
+        self._lib.wj_entry.restype = None
+        self._lib.wj_entry.argtypes = [
+            ct.POINTER(WjEnvStruct),
+            ct.c_void_p,
+            ct.POINTER(ct.c_void_p),
+            ct.POINTER(ct.c_int64),
+            ct.POINTER(ct.c_int64),
+            ct.POINTER(ct.c_double),
+            ct.c_void_p,
+        ]
+        n_i = max(1, len(emit.ivals))
+        n_d = max(1, len(emit.dvals))
+        self._iv = (ct.c_int64 * n_i)(*(emit.ivals or [0]))
+        self._dv = (ct.c_double * n_d)(*(emit.dvals or [0.0]))
+
+    def run(self, env, arrays: Sequence[np.ndarray]):
+        if len(arrays) != self.emit_result.n_slots:
+            raise BackendError(
+                f"expected {self.emit_result.n_slots} array slots, got {len(arrays)}"
+            )
+        n = max(1, len(arrays))
+        sp = (ct.c_void_p * n)()
+        sl = (ct.c_int64 * n)()
+        for i, arr in enumerate(arrays):
+            if not arr.flags.c_contiguous:
+                raise BackendError(f"array slot {i} must be C-contiguous")
+            sp[i] = arr.ctypes.data
+            sl[i] = arr.shape[0]
+        snap = ct.create_string_buffer(max(1, self._snap_size))
+        ret_ty = self.emit_result.entry_ret
+        if ret_ty is _t.VOID:
+            ret_buf = ct.c_int64(0)
+        elif ret_ty is _t.F64:
+            ret_buf = ct.c_double(0.0)
+        elif ret_ty is _t.F32:
+            ret_buf = ct.c_float(0.0)
+        elif ret_ty is _t.I64:
+            ret_buf = ct.c_int64(0)
+        elif ret_ty is _t.I32:
+            ret_buf = ct.c_int32(0)
+        elif ret_ty is _t.BOOL:
+            ret_buf = ct.c_int32(0)
+        else:
+            raise BackendError(
+                f"entry return type {ret_ty!r} cannot cross the C boundary"
+            )
+        env_struct, thunks = _make_env(env)
+        self._lib.wj_entry(
+            ct.byref(env_struct),
+            ct.cast(snap, ct.c_void_p),
+            sp,
+            sl,
+            self._iv,
+            self._dv,
+            ct.cast(ct.byref(ret_buf), ct.c_void_p),
+        )
+        del thunks  # keep alive until after the call
+        if self.bounds_checks:
+            oob = int(self._lib.wj_oob_count_take())
+            if oob:
+                from repro.errors import GuestRuntimeError
+
+                raise GuestRuntimeError(
+                    f"{oob} out-of-bounds array access(es) in translated "
+                    f"code (debug bounds checking)"
+                )
+        if ret_ty is _t.VOID:
+            return None
+        value = ret_buf.value
+        if ret_ty is _t.BOOL:
+            return bool(value)
+        return value

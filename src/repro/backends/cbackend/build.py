@@ -1,0 +1,94 @@
+"""Native build driver: generated C → shared object.
+
+Reproduces the paper's Tables 1 and 2 (compiler options per program
+variant): each :class:`~repro.backends.base.OptLevel` maps to a flag set in
+:data:`FLAG_SETS` — the analogue of the icc option rows, adapted to gcc.
+Artifacts are cached by content hash, so re-JITting an identical program is
+free while first-time compilations are honestly measured (paper Table 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from repro.backends.base import OptLevel
+from repro.errors import BackendError, CompilationUnavailable
+
+__all__ = ["compiler_available", "compile_shared_object", "FLAG_SETS", "cc_version"]
+
+
+#: per-comparator compiler options (the analogue of the paper's Table 1/2)
+FLAG_SETS: dict[OptLevel, list[str]] = {
+    OptLevel.VIRTUAL: ["-O3", "-fno-lto"],
+    OptLevel.DEVIRT: ["-O3", "-march=native"],
+    OptLevel.NOVIRT: ["-O3", "-march=native"],
+    OptLevel.FULL: ["-O3", "-march=native", "-funroll-loops"],
+}
+
+_COMMON = ["-std=c99", "-shared", "-fPIC", "-lm", "-w"]
+
+
+def _find_cc() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def compiler_available() -> bool:
+    """Whether a usable C compiler was found ($CC, cc, gcc, clang)."""
+    return _find_cc() is not None
+
+
+def cc_version() -> str:
+    """Human-readable identification of the compiler in use."""
+    cc = _find_cc()
+    if cc is None:
+        return "none"
+    out = subprocess.run([cc, "--version"], capture_output=True, text=True)
+    return out.stdout.splitlines()[0] if out.stdout else cc
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_CC_CACHE") or os.path.join(
+        tempfile.gettempdir(), "repro-cc-cache"
+    )
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def compile_shared_object(source: str, opt: OptLevel, *, bounds_checks: bool = False) -> tuple[Path, bool]:
+    """Compile C source to a cached .so.  Returns (path, was_cached)."""
+    cc = _find_cc()
+    if cc is None:
+        raise CompilationUnavailable(
+            "no C compiler found (set $CC or install gcc/clang), or use "
+            "backend='py'"
+        )
+    flags = list(FLAG_SETS[opt]) + _COMMON
+    if bounds_checks:
+        flags.append("-DWJ_BOUNDS=1")
+    digest = hashlib.sha256(
+        (source + "\x00" + " ".join(flags) + "\x00" + cc).encode()
+    ).hexdigest()[:24]
+    cache = _cache_dir()
+    so_path = cache / f"wj_{digest}.so"
+    if so_path.exists():
+        return so_path, True
+    c_path = cache / f"wj_{digest}.c"
+    c_path.write_text(source)
+    tmp_out = cache / f"wj_{digest}.so.tmp{os.getpid()}"
+    cmd = [cc, str(c_path), "-o", str(tmp_out), *flags]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise BackendError(
+            f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr[-4000:]}"
+        )
+    os.replace(tmp_out, so_path)
+    return so_path, False

@@ -1,0 +1,5 @@
+"""Python backend: emit flat specialized Python source and exec it."""
+
+from repro.backends.pybackend.emit import PyBackend
+
+__all__ = ["PyBackend"]

@@ -1,0 +1,518 @@
+"""Flat-Python emitter.
+
+Emits one Python module per program: every specialization becomes a plain
+function with all dynamic dispatch resolved, all objects either folded away
+(snapshot objects: primitive fields are literals, array fields live in a
+per-rank ``__snap`` namespace) or scalarized into tuples (dynamic objects) —
+i.e. the paper's devirtualization + object inlining, expressed in Python.
+
+This backend exists for portability (no C compiler needed) and as the
+differential-testing oracle for the C backend; it always emits at full
+optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import (
+    Backend,
+    CompiledProgram,
+    OptLevel,
+    compute_local_shapes,
+    is_pure,
+    passed_params,
+)
+from repro.errors import BackendError
+from repro.frontend import ir
+from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape, Shape
+from repro.jit.program import Program
+from repro.lang import types as _t
+from repro.lang.intrinsics import intrinsic_registry
+
+__all__ = ["PyBackend"]
+
+
+def snap_attr(path: str) -> str:
+    """Mangle a snapshot path ('self.solver') to an attribute name."""
+    return path.replace(".", "_")
+
+
+_GEO_INDEX = {
+    "tid_x": "[0][0]", "tid_y": "[0][1]", "tid_z": "[0][2]",
+    "bid_x": "[1][0]", "bid_y": "[1][1]", "bid_z": "[1][2]",
+    "bdim_x": "[2][0]", "bdim_y": "[2][1]", "bdim_z": "[2][2]",
+    "gdim_x": "[3][0]", "gdim_y": "[3][1]", "gdim_z": "[3][2]",
+}
+
+
+class _Writer:
+    def __init__(self):
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _FuncEmitter:
+    """Emits one specialized function."""
+
+    def __init__(self, backend: "_ProgramEmitter", func_ir: ir.FuncIR):
+        self.p = backend
+        self.f = func_ir
+        self.w = backend.w
+        self._tmp = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"__t{self._tmp}"
+
+    def lit(self, value, prim: _t.PrimType) -> str:
+        if prim is _t.BOOL:
+            return "True" if value else "False"
+        if prim.is_float:
+            return repr(float(value))
+        return repr(int(value))
+
+    # -- expression emission ------------------------------------------------
+
+    def emit(self, e: ir.Expr) -> str:
+        # constant folding: the payoff of semi-immutability
+        s = e.shape
+        if (
+            isinstance(s, PrimShape)
+            and s.const is not None
+            and not isinstance(e, ir.Const)
+            and is_pure(e)
+        ):
+            return self.lit(s.const, s.ty)
+        if isinstance(s, ObjShape) and s.from_snapshot:
+            return f"__snap.{snap_attr(s.root_path)}"
+        return self._emit_raw(e)
+
+    def _emit_raw(self, e: ir.Expr) -> str:
+        if isinstance(e, ir.Const):
+            return self.lit(e.value, e.prim)
+        if isinstance(e, ir.LocalRef):
+            return e.name
+        if isinstance(e, ir.FieldLoad):
+            return self.emit_field(e.obj, e.fname, e.shape)
+        if isinstance(e, ir.ArrayLoad):
+            return f"{self.emit(e.arr)}[{self.emit(e.index)}]"
+        if isinstance(e, ir.ArrayLen):
+            return f"len({self.emit(e.arr)})"
+        if isinstance(e, ir.BinOp):
+            op = {"**": "**"}.get(e.op, e.op)
+            return f"({self.emit(e.left)} {op} {self.emit(e.right)})"
+        if isinstance(e, ir.UnaryOp):
+            if e.op == "not":
+                return f"(not {self.emit(e.operand)})"
+            return f"(-{self.emit(e.operand)})"
+        if isinstance(e, ir.Compare):
+            return f"({self.emit(e.left)} {e.op} {self.emit(e.right)})"
+        if isinstance(e, ir.BoolOp):
+            joiner = f" {e.op} "
+            return "(" + joiner.join(self.emit(v) for v in e.values) + ")"
+        if isinstance(e, ir.Cast):
+            return self.emit_cast(e)
+        if isinstance(e, ir.Call):
+            return self.emit_call(e)
+        if isinstance(e, ir.IntrinsicCall):
+            return self.emit_intrinsic(e)
+        if isinstance(e, ir.NewObj):
+            return self.emit_new(e)
+        if isinstance(e, ir.KernelLaunch):
+            raise BackendError("kernel launch in expression position")
+        raise BackendError(f"unhandled IR node {type(e).__name__}")
+
+    def emit_field(self, obj: ir.Expr, fname: str, fshape: Shape) -> str:
+        oshape = obj.shape
+        assert isinstance(oshape, ObjShape)
+        if oshape.from_snapshot:
+            # array fields live in the snapshot namespace; scalars folded by
+            # emit(); object fields resolve to child namespaces via shape
+            if isinstance(fshape, ArrayShape):
+                return f"__snap.{snap_attr(oshape.root_path)}.{fname}"
+            if isinstance(fshape, ObjShape) and fshape.from_snapshot:
+                return f"__snap.{snap_attr(fshape.root_path)}"
+            if isinstance(fshape, PrimShape) and fshape.const is not None:
+                return self.lit(fshape.const, fshape.ty)
+            raise BackendError(
+                f"snapshot field {fname} has unexpected shape {fshape!r}"
+            )
+        idx = list(oshape.fields).index(fname)
+        return f"{self.emit(obj)}[{idx}]"
+
+    def emit_cast(self, e: ir.Cast) -> str:
+        inner = self.emit(e.value)
+        to = e.to
+        if to is _t.F32:
+            return f"__f32({inner})"
+        if to is _t.F64:
+            return f"float({inner})"
+        if to is _t.I32:
+            return f"__i32({inner})"
+        if to is _t.I64:
+            return f"int({inner})"
+        if to is _t.BOOL:
+            return f"bool({inner})"
+        raise BackendError(f"unsupported cast target {to!r}")
+
+    def value_of(self, e: ir.Expr, want: Shape) -> str:
+        """Emit e, converting a snapshot-shaped object into a dynamic tuple
+        value when the consumer's merged shape is dynamic."""
+        if (
+            isinstance(want, ObjShape)
+            and not want.from_snapshot
+            and isinstance(e.shape, ObjShape)
+            and e.shape.from_snapshot
+        ):
+            return self.snap_to_value(e.shape, want)
+        return self.emit(e)
+
+    def snap_to_value(self, s: ObjShape, want: ObjShape) -> str:
+        parts = []
+        for fname, wshape in want.fields.items():
+            fshape = s.field(fname)
+            if isinstance(fshape, PrimShape):
+                parts.append(self.lit(fshape.const, fshape.ty))
+            elif isinstance(fshape, ArrayShape):
+                parts.append(f"__snap.{snap_attr(s.root_path)}.{fname}")
+            elif isinstance(fshape, ObjShape):
+                inner_want = wshape if isinstance(wshape, ObjShape) else fshape
+                if isinstance(inner_want, ObjShape) and not inner_want.from_snapshot:
+                    parts.append(self.snap_to_value(fshape, inner_want))
+                else:
+                    parts.append(f"__snap.{snap_attr(fshape.root_path)}")
+            else:  # pragma: no cover
+                raise BackendError(f"bad snapshot field shape {fshape!r}")
+        return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+
+    def emit_new(self, e: ir.NewObj) -> str:
+        parts = [
+            self.value_of(init, e.obj_shape.fields[name])
+            for name, init in e.field_inits.items()
+        ]
+        if not parts:
+            return "()"
+        return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+
+    def emit_call(self, e: ir.Call) -> str:
+        args = ["__env", "__snap"]
+        if e.target.device:
+            args.append("__geo")
+        callee_ir = e.target.func_ir
+        for (pname, pshape), expr in zip(
+            _callee_passed(callee_ir), _call_value_exprs(e)
+        ):
+            args.append(self.value_of(expr, pshape))
+        return f"{e.target.symbol}({', '.join(args)})"
+
+    def emit_intrinsic(self, e: ir.IntrinsicCall) -> str:
+        key = e.key
+        a = [self.emit(x) for x in e.args]
+        if key.startswith("mpi."):
+            name = {
+                "mpi.rank": "mpi_rank",
+                "mpi.size": "mpi_size",
+                "mpi.send": "mpi_send",
+                "mpi.recv": "mpi_recv",
+                "mpi.sendrecv": "mpi_sendrecv",
+                "mpi.send_part": "mpi_send_part",
+                "mpi.recv_part": "mpi_recv_part",
+                "mpi.sendrecv_part": "mpi_sendrecv_part",
+                "mpi.barrier": "mpi_barrier",
+                "mpi.allreduce_sum": "mpi_allreduce_sum",
+                "mpi.allreduce_sum_arr": "mpi_allreduce_sum_array",
+                "mpi.bcast": "mpi_bcast",
+                "mpi.gather": "mpi_gather",
+                "mpi.wtime": "mpi_wtime",
+            }[key]
+            return f"__env.{name}({', '.join(a)})"
+        if key.startswith("cuda.tid."):
+            sub = key.split(".")[-1]
+            if sub == "sync":
+                return "__geo[4].wait()"
+            return f"__geo{_GEO_INDEX[sub]}"
+        if key == "cuda.copy_to_gpu":
+            return f"__env.gpu_to_device({a[0]})"
+        if key == "cuda.copy_from_gpu":
+            return f"__env.gpu_from_device({a[0]})"
+        if key == "cuda.device_zeros":
+            elem = e.const_args[0]
+            return f"__np.zeros(int({a[0]}), dtype='{elem.np_dtype.str}')"
+        if key in ("cuda.free_gpu", "wj.free"):
+            return f"__noop({a[0]})"
+        if key == "wj.zeros":
+            elem = e.const_args[0]
+            return f"__np.zeros(int({a[0]}), dtype='{elem.np_dtype.str}')"
+        if key == "wj.output":
+            label = e.const_args[0]
+            return f"__env.output({label!r}, {a[0]})"
+        if key.startswith("math."):
+            return f"__math.{key.split('.')[1]}({', '.join(a)})"
+        if key == "builtin.abs":
+            return f"abs({a[0]})"
+        if key == "builtin.min":
+            return f"min({a[0]}, {a[1]})"
+        if key == "builtin.max":
+            return f"max({a[0]}, {a[1]})"
+        if key.startswith("ffi."):
+            ff = e.const_args[0]
+            return f"__ffi[{ff.cname!r}]({', '.join(a)})"
+        raise BackendError(f"unknown intrinsic {key}")
+
+    # -- statements ----------------------------------------------------------
+
+    def emit_stmt(self, s: ir.Stmt) -> None:
+        w = self.w
+        if isinstance(s, (ir.LocalDecl, ir.Assign)):
+            want = self.f_local_shape(s.name)
+            w.line(f"{s.name} = {self.value_of(s.value, want)}")
+            return
+        if isinstance(s, ir.FieldStore):
+            oshape = s.obj.shape
+            w.line(
+                f"__snap.{snap_attr(oshape.root_path)}.{s.fname} = "
+                f"{self.emit(s.value)}"
+            )
+            return
+        if isinstance(s, ir.ArrayStore):
+            w.line(
+                f"{self.emit(s.arr)}[{self.emit(s.index)}] = {self.emit(s.value)}"
+            )
+            return
+        if isinstance(s, ir.If):
+            w.line(f"if {self.emit(s.cond)}:")
+            self._block(s.then)
+            if s.orelse:
+                w.line("else:")
+                self._block(s.orelse)
+            return
+        if isinstance(s, ir.ForRange):
+            rng = f"range({self.emit(s.start)}, {self.emit(s.stop)}"
+            if s.step is not None:
+                rng += f", {self.emit(s.step)}"
+            rng += ")"
+            w.line(f"for {s.var} in {rng}:")
+            self._block(s.body)
+            return
+        if isinstance(s, ir.While):
+            w.line(f"while {self.emit(s.cond)}:")
+            self._block(s.body)
+            return
+        if isinstance(s, ir.Return):
+            if s.value is None:
+                w.line("return")
+            else:
+                want = self.f.ret_shape
+                w.line(f"return {self.value_of(s.value, want)}")
+            return
+        if isinstance(s, ir.ExprStmt):
+            if isinstance(s.value, ir.KernelLaunch):
+                self.emit_launch(s.value)
+                return
+            w.line(f"{self.emit(s.value)}")
+            return
+        if isinstance(s, ir.Break):
+            w.line("break")
+            return
+        if isinstance(s, ir.Continue):
+            w.line("continue")
+            return
+        raise BackendError(f"unhandled statement {type(s).__name__}")
+
+    def _block(self, stmts) -> None:
+        self.w.depth += 1
+        if not stmts:
+            self.w.line("pass")
+        else:
+            for st in stmts:
+                self.emit_stmt(st)
+        self.w.depth -= 1
+
+    def f_local_shape(self, name: str) -> Shape:
+        """The local's final (merged) shape — governs its representation."""
+        return self.p.local_shapes[self.f.symbol].get(name)
+
+    def emit_launch(self, e: ir.KernelLaunch) -> None:
+        gdims = [self.dim_expr(e.config, "grid", c) for c in "xyz"]
+        bdims = [self.dim_expr(e.config, "block", c) for c in "xyz"]
+        callee_ir = e.target.func_ir
+        call_args = []
+        for (pname, pshape), expr in zip(
+            _callee_passed(callee_ir), _call_value_exprs_kernel(e)
+        ):
+            call_args.append(self.value_of(expr, pshape))
+        coop = "True" if self.p.kernel_uses_sync(e.target) else "False"
+        thunk = (
+            f"lambda __geo, *__a: {e.target.symbol}(__env, __snap, __geo, *__a)"
+        )
+        self.w.line(
+            f"__env.launch_kernel({thunk}, "
+            f"({', '.join(gdims)}), ({', '.join(bdims)}), "
+            f"({', '.join(call_args)}{',' if len(call_args) == 1 else ''}), "
+            f"cooperative={coop})"
+        )
+
+    def dim_expr(self, config: ir.Expr, which: str, comp: str) -> str:
+        """Emit grid/block component access from the CudaConfig expression."""
+        cshape = config.shape
+        assert isinstance(cshape, ObjShape)
+        dshape = cshape.field(which)
+        assert isinstance(dshape, ObjShape)
+        pshape = dshape.field(comp)
+        if isinstance(pshape, PrimShape) and pshape.const is not None:
+            return self.lit(pshape.const, pshape.ty)
+        # runtime config: index through the emitted value
+        widx = list(cshape.fields).index(which)
+        cidx = list(dshape.fields).index(comp)
+        return f"{self.emit(config)}[{widx}][{cidx}]"
+
+    # -- function shell -------------------------------------------------------
+
+    def emit_function(self) -> None:
+        params = ["__env", "__snap"]
+        if self.f.is_device:
+            params.append("__geo")
+        for name, shape in passed_params(self.f):
+            params.append(name)
+        self.w.line(f"def {self.f.symbol}({', '.join(params)}):")
+        self._block(self.f.body or [ir.Return(None)])
+        self.w.line("")
+
+
+def _callee_passed(callee_ir: ir.FuncIR):
+    return passed_params(callee_ir)
+
+
+def _call_value_exprs(e: ir.Call):
+    """Caller expressions matching the callee's passed parameters."""
+    callee = e.target.func_ir
+    out = []
+    if callee.self_shape is not None and not callee.self_shape.from_snapshot:
+        out.append(e.recv)
+    for expr, shape in zip(e.args, callee.param_shapes):
+        if isinstance(shape, ObjShape) and shape.from_snapshot:
+            continue
+        out.append(expr)
+    return out
+
+
+def _call_value_exprs_kernel(e: ir.KernelLaunch):
+    callee = e.target.func_ir
+    out = []
+    if callee.self_shape is not None and not callee.self_shape.from_snapshot:
+        out.append(e.recv)
+    for expr, shape in zip(e.args, callee.param_shapes):
+        if isinstance(shape, ObjShape) and shape.from_snapshot:
+            continue
+        out.append(expr)
+    return out
+
+
+class _ProgramEmitter:
+    def __init__(self, program: Program):
+        self.program = program
+        self.w = _Writer()
+        self.local_shapes: dict[str, dict[str, Shape]] = {}
+        self._sync_cache: dict[str, bool] = {}
+
+    def kernel_uses_sync(self, spec) -> bool:
+        cached = self._sync_cache.get(spec.symbol)
+        if cached is None:
+            cached = any(
+                isinstance(x, ir.IntrinsicCall) and x.key == "cuda.tid.sync"
+                for s in self.program.specializations
+                if s.device
+                for x in ir.walk_exprs(s.func_ir.body)
+            )
+            self._sync_cache[spec.symbol] = cached
+        return cached
+
+    def emit(self) -> str:
+        w = self.w
+        w.line("# generated by repro.backends.pybackend — do not edit")
+        w.line("")
+        for spec in self.program.specializations:
+            self.local_shapes[spec.symbol] = compute_local_shapes(spec.func_ir)
+            _FuncEmitter(self, spec.func_ir).emit_function()
+        self._emit_entry()
+        return w.source()
+
+    def _emit_entry(self) -> None:
+        w = self.w
+        entry = self.program.entry
+        args = ["__env", "__snap"]
+        for name, shape in passed_params(entry.func_ir):
+            if isinstance(shape, PrimShape):
+                if shape.const is None:
+                    raise BackendError(
+                        "entry scalar argument without a recorded value"
+                    )
+                args.append(repr(shape.const))
+            elif isinstance(shape, ArrayShape):
+                args.append(f"__arrays[{shape.slot}]")
+            else:
+                raise BackendError(f"unsupported entry parameter shape {shape!r}")
+        w.line("def __entry(__env, __snap, __arrays):")
+        w.depth += 1
+        w.line(f"return {entry.symbol}({', '.join(args)})")
+        w.depth -= 1
+
+
+class _PyCompiled(CompiledProgram):
+    def __init__(self, program: Program, source: str):
+        self.program = program
+        self.source = source
+        self._globals = {
+            "__np": np,
+            "__math": math,
+            "__f32": lambda x: float(np.float32(x)),
+            "__i32": lambda x: int(np.int32(int(x))),
+            "__noop": lambda *a: None,
+            "__ffi": _ffi_table(),
+        }
+        code = compile(source, "<repro-pybackend>", "exec")
+        exec(code, self._globals)  # noqa: S102 - our own generated code
+        self._entry = self._globals["__entry"]
+
+    def run(self, env, arrays: Sequence[np.ndarray]):
+        snap = SimpleNamespace()
+        for path, oshape in self.program.snapshot.objects:
+            ns = SimpleNamespace()
+            for fname, fshape in oshape.fields.items():
+                if isinstance(fshape, ArrayShape) and fshape.slot is not None:
+                    setattr(ns, fname, arrays[fshape.slot])
+            setattr(snap, snap_attr(path), ns)
+        return self._entry(env, snap, list(arrays))
+
+
+def _ffi_table() -> dict:
+    table = {}
+    for root_table in intrinsic_registry._by_root.values():
+        for spec in root_table.values():
+            if spec.foreign is not None:
+                table[spec.foreign.cname] = spec.pyimpl
+    return table
+
+
+class PyBackend(Backend):
+    """Emit flat specialized Python and exec it (portable backend)."""
+
+    name = "py"
+
+    def compile(self, program: Program, opt: OptLevel) -> CompiledProgram:
+        # the Python backend always emits at FULL optimization (see base.py)
+        source = _ProgramEmitter(program).emit()
+        return _PyCompiled(program, source)

@@ -1,0 +1,33 @@
+"""Comparator programs for the paper's evaluation.
+
+The paper compares WootinJ against five program families (§4): *C* (hand
+written, no abstraction), *C++* (virtual calls), *Template*, *Template w/o
+virt.*, and *Java* (the library on a JVM).  Here:
+
+* :mod:`repro.baselines.c_ref` — hand-written C kernels compiled with the
+  same compiler and flags (the *C* bars), plus Python drivers that combine
+  them with the simulated MPI/GPU substrates for the scaling figures;
+* :mod:`repro.baselines.comparators` — a uniform driver that runs any
+  comparator on either workload and reports timing rows.  The C++-family
+  comparators are the JIT's optimization-level ablation (see
+  ``repro.backends.base.OptLevel``), and *Java* is direct CPython execution
+  of the same class library.
+"""
+
+from repro.baselines.comparators import (
+    VARIANTS,
+    CompRow,
+    diffusion_scaling,
+    diffusion_single,
+    matmul_scaling,
+    matmul_single,
+)
+
+__all__ = [
+    "CompRow",
+    "VARIANTS",
+    "diffusion_scaling",
+    "diffusion_single",
+    "matmul_scaling",
+    "matmul_single",
+]

@@ -1,0 +1,384 @@
+"""Uniform comparator drivers for the paper's program families.
+
+``VARIANTS`` maps the paper's names to how each is realized:
+
+=================  ========================================================
+``java``           the class library executed directly by CPython
+``cpp``            C backend at ``OptLevel.VIRTUAL`` (vtable dispatch)
+``template``       C backend at ``OptLevel.DEVIRT``
+``template-novirt`` C backend at ``OptLevel.NOVIRT``
+``wootinj``        C backend at ``OptLevel.FULL`` (the paper's system)
+``c-ref``          hand-written C kernels from :mod:`repro.baselines.c_ref`
+=================  ========================================================
+
+All timing excludes JIT compilation (reported separately, like the paper's
+Table 3 / Figs 13-16 distinction): translated variants report the simulated
+clock of the run (for one rank, that is the measured CPU time of the
+translated code), and ``java`` / ``c-ref`` are wall-timed directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.base import OptLevel
+from repro.cuda.perf import GpuModel, M2050_MODEL
+from repro.jit import jit, jit4mpi
+from repro.jit.runtime import RuntimeEnv
+from repro.library.matmul import (
+    CPULoop,
+    FoxAlgorithm,
+    GPUThread,
+    GpuCalculator,
+    MPIThread,
+    OptimizedCalculator,
+    SimpleOuterBody,
+    make_matrix,
+)
+from repro.library.stencil import (
+    EmptyContext,
+    SineGen,
+    StencilCPU3D,
+    StencilCPU3D_MPI,
+    StencilGPU3D,
+    StencilGPU3D_MPI,
+    ThreeDIndexer,
+)
+from repro.library.stencil.config import (
+    diffusion_coefficients,
+    make_dif3d_solver,
+    make_grid3d,
+)
+from repro.mpi import mpirun
+from repro.mpi.netmodel import NetworkModel, TSUBAME_NET
+
+__all__ = [
+    "CompRow",
+    "VARIANTS",
+    "diffusion_single",
+    "diffusion_scaling",
+    "matmul_single",
+    "matmul_scaling",
+]
+
+#: paper comparator name -> OptLevel (None = not a translated variant)
+VARIANTS: dict[str, Optional[OptLevel]] = {
+    "java": None,
+    "cpp": OptLevel.VIRTUAL,
+    "template": OptLevel.DEVIRT,
+    "template-novirt": OptLevel.NOVIRT,
+    "wootinj": OptLevel.FULL,
+    "c-ref": None,
+}
+
+
+@dataclass
+class CompRow:
+    """One comparator measurement."""
+
+    variant: str
+    seconds: float               # run time (simulated clock where modeled)
+    checksum: float
+    work: float                  # cell-updates or flops, for normalization
+    compile_s: float = 0.0       # JIT translate + external compile time
+    comm_s: float = 0.0
+    device_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def per_unit_ns(self) -> float:
+        return 1e9 * self.seconds / max(1.0, self.work)
+
+
+def _step_seconds(outputs, fallback: float) -> float:
+    """The library publishes its stepping-phase time under 'secs' (virtual
+    clock); the slowest rank defines the run."""
+    vals = [float(o["secs"][0]) for o in outputs if "secs" in o]
+    return max(vals) if vals else fallback
+
+
+def _stencil_app(cls, nx, ny, nzl, nranks):
+    return cls(
+        make_dif3d_solver(),
+        make_grid3d(nx, ny, nzl + 2),
+        ThreeDIndexer(nx, ny, nzl + 2),
+        SineGen(nx, ny, nzl, nranks),
+        EmptyContext(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3-D diffusion
+# ---------------------------------------------------------------------------
+
+def diffusion_single(variant: str, nx: int, ny: int, nzg: int, steps: int) -> CompRow:
+    """Single-thread diffusion (Figs 3 and 17)."""
+    work = float((nx - 2) * (ny - 2) * nzg * steps)
+    if variant == "java":
+        import repro.rt as rt
+
+        app = _stencil_app(StencilCPU3D, nx, ny, nzg, 1)
+        t0 = time.perf_counter()
+        value = app.run(steps)
+        dt = time.perf_counter() - t0
+        outs = rt.current.take_outputs()
+        dt = float(outs["secs"][0]) if "secs" in outs else dt
+        return CompRow(variant, dt, float(value), work)
+    if variant == "c-ref":
+        from repro.baselines import c_ref
+
+        cc, cw, ch, cd = diffusion_coefficients()
+        nz = nzg + 2
+        a = np.zeros(nx * ny * nz, dtype=np.float32)
+        b = np.zeros_like(a)
+        c_ref.fill_sine(a, nx, ny, nzg, 1, 0)
+        c_ref.fill_sine(b, nx, ny, nzg, 1, 0)
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            c_ref.diff3d_sweep(a, b, nx, ny, nz, cc, cw, ch, cd)
+            a, b = b, a
+        value = c_ref.diff3d_interior_sum(a, nx, ny, nz)
+        dt = time.perf_counter() - t0
+        return CompRow(variant, dt, value, work)
+    opt = VARIANTS[variant]
+    if opt is None:
+        raise ValueError(f"unknown variant {variant!r}")
+    app = _stencil_app(StencilCPU3D, nx, ny, nzg, 1)
+    code = jit(app, "run", steps, backend="c", opt=opt)
+    res = code.invoke()
+    return CompRow(
+        variant, _step_seconds(res.outputs, res.sim_time), float(res.value),
+        work, compile_s=code.report.total_s,
+    )
+
+
+def diffusion_scaling(
+    variant: str,
+    nx: int,
+    ny: int,
+    nzl: int,
+    steps: int,
+    nranks: int,
+    *,
+    gpu: bool = False,
+    net: NetworkModel = TSUBAME_NET,
+    gpu_model: GpuModel = M2050_MODEL,
+) -> CompRow:
+    """Multi-rank diffusion (Figs 4-7 and 13-14).  ``nzl`` is the local
+    interior slab per rank."""
+    work = float((nx - 2) * (ny - 2) * nzl * nranks * steps)
+    if variant == "c-ref":
+        return _diffusion_c_ref_scaling(
+            nx, ny, nzl, steps, nranks, gpu=gpu, net=net, gpu_model=gpu_model,
+            work=work,
+        )
+    opt = VARIANTS[variant]
+    if opt is None:
+        raise ValueError(f"variant {variant!r} has no scaling driver")
+    cls = StencilGPU3D_MPI if gpu else StencilCPU3D_MPI
+    app = _stencil_app(cls, nx, ny, nzl, nranks)
+    code = jit4mpi(app, "run", steps, backend="c", opt=opt)
+    code.set4mpi(nranks, net=net)
+    if gpu:
+        code.set_gpu(gpu_model)
+    else:
+        code.set_gpu(None)
+    res = code.invoke()
+    return CompRow(
+        variant, _step_seconds(res.outputs, res.sim_time), float(res.value),
+        work, compile_s=code.report.total_s,
+        comm_s=max(res.comm_times), device_s=max(res.device_times),
+    )
+
+
+def _diffusion_c_ref_scaling(nx, ny, nzl, steps, nranks, *, gpu, net,
+                             gpu_model, work) -> CompRow:
+    from repro.baselines import c_ref
+
+    cc, cw, ch, cd = diffusion_coefficients()
+    nz = nzl + 2
+    pl = nx * ny
+
+    def body(ctx):
+        env = RuntimeEnv(ctx, gpu_model=gpu_model if gpu else None)
+        a = np.zeros(nx * ny * nz, dtype=np.float32)
+        b = np.zeros_like(a)
+        c_ref.fill_sine(a, nx, ny, nzl, nranks, ctx.rank)
+        c_ref.fill_sine(b, nx, ny, nzl, nranks, ctx.rank)
+        rank, size = ctx.rank, ctx.size
+        ctx.comm.barrier(ctx)
+        ctx.clock.sync_cpu()
+        t_start = ctx.clock.t
+        if gpu:
+            env.gpu_transfer(a.nbytes * 2)  # both buffers to the device
+        for _ in range(steps):
+            if size > 1:
+                if gpu:
+                    env.gpu_transfer(2 * pl * 4)  # halo planes to the host
+                if rank < size - 1:
+                    ctx.comm.send(ctx, a[(nz - 2) * pl:(nz - 1) * pl], rank + 1, 1)
+                if rank > 0:
+                    ctx.comm.recv(ctx, a[0:pl], rank - 1, 1)
+                if rank > 0:
+                    ctx.comm.send(ctx, a[pl:2 * pl], rank - 1, 2)
+                if rank < size - 1:
+                    ctx.comm.recv(ctx, a[(nz - 1) * pl:nz * pl], rank + 1, 2)
+                if gpu:
+                    env.gpu_transfer(2 * pl * 4)  # halo planes back
+            if gpu:
+                env.kernel_begin()
+            c_ref.diff3d_sweep(a, b, nx, ny, nz, cc, cw, ch, cd)
+            if gpu:
+                env.kernel_end()
+            a, b = b, a
+        if gpu:
+            env.gpu_transfer(a.nbytes)
+        ctx.clock.sync_cpu()
+        secs = ctx.clock.t - t_start
+        local = c_ref.diff3d_interior_sum(a, nx, ny, nz)
+        return (ctx.comm.allreduce_sum(ctx, local), secs)
+
+    res = mpirun(nranks, body, net=net, gpu_model=gpu_model if gpu else None)
+    return CompRow(
+        "c-ref", max(s for _, s in res.returns), float(res.returns[0][0]),
+        work, comm_s=max(res.comm_times), device_s=max(res.device_times),
+    )
+
+
+# ---------------------------------------------------------------------------
+# matrix multiplication
+# ---------------------------------------------------------------------------
+
+def matmul_single(variant: str, n: int) -> CompRow:
+    """Single-thread matmul (Fig 18)."""
+    work = float(n) ** 3
+    if variant == "java":
+        import repro.rt as rt
+
+        a, b, c = make_matrix(n), make_matrix(n), make_matrix(n)
+        a.fill_seeded(1)
+        b.fill_seeded(2)
+        app = CPULoop(SimpleOuterBody(), OptimizedCalculator())
+        t0 = time.perf_counter()
+        value = app.start(a, b, c)
+        dt = time.perf_counter() - t0
+        outs = rt.current.take_outputs()
+        dt = float(outs["secs"][0]) if "secs" in outs else dt
+        return CompRow(variant, dt, float(value), work)
+    if variant == "c-ref":
+        from repro.baselines import c_ref
+
+        a, b, c = make_matrix(n), make_matrix(n), make_matrix(n)
+        a.fill_seeded(1)
+        b.fill_seeded(2)
+        t0 = time.perf_counter()
+        c_ref.mm_ikj(a.data, b.data, c.data, n)
+        value = float(c.data.sum())
+        dt = time.perf_counter() - t0
+        return CompRow(variant, dt, value, work)
+    opt = VARIANTS[variant]
+    if opt is None:
+        raise ValueError(f"unknown variant {variant!r}")
+    a, b, c = make_matrix(n), make_matrix(n), make_matrix(n)
+    a.fill_seeded(1)
+    b.fill_seeded(2)
+    app = CPULoop(SimpleOuterBody(), OptimizedCalculator())
+    code = jit(app, "start", a, b, c, backend="c", opt=opt)
+    res = code.invoke()
+    return CompRow(
+        variant, _step_seconds(res.outputs, res.sim_time), float(res.value),
+        work, compile_s=code.report.total_s,
+    )
+
+
+def matmul_scaling(
+    variant: str,
+    m: int,
+    nranks: int,
+    *,
+    gpu: bool = False,
+    net: NetworkModel = TSUBAME_NET,
+    gpu_model: GpuModel = M2050_MODEL,
+) -> CompRow:
+    """Fox-algorithm matmul on a sqrt(nranks)² grid of m×m blocks
+    (Figs 9-12, 15-16)."""
+    q = int(round(nranks ** 0.5))
+    if q * q != nranks:
+        raise ValueError(f"Fox needs a square rank count, got {nranks}")
+    ng = q * m
+    work = float(ng) ** 3  # total global multiply-adds
+    if variant == "c-ref":
+        return _matmul_c_ref_scaling(m, nranks, q, gpu=gpu, net=net,
+                                     gpu_model=gpu_model, work=work)
+    opt = VARIANTS[variant]
+    if opt is None:
+        raise ValueError(f"variant {variant!r} has no scaling driver")
+    a, b, c = make_matrix(m), make_matrix(m), make_matrix(m)
+    inner = GpuCalculator() if gpu else OptimizedCalculator()
+    app = MPIThread(FoxAlgorithm(), inner)
+    code = jit4mpi(app, "start_generated", a, b, c, backend="c", opt=opt)
+    code.set4mpi(nranks, net=net)
+    code.set_gpu(gpu_model if gpu else None)
+    res = code.invoke()
+    return CompRow(
+        variant, _step_seconds(res.outputs, res.sim_time), float(res.value),
+        work, compile_s=code.report.total_s,
+        comm_s=max(res.comm_times), device_s=max(res.device_times),
+    )
+
+
+def _matmul_c_ref_scaling(m, nranks, q, *, gpu, net, gpu_model, work) -> CompRow:
+    from repro.baselines import c_ref
+
+    def body(ctx):
+        env = RuntimeEnv(ctx, gpu_model=gpu_model if gpu else None)
+        rank = ctx.rank
+        row, col = rank // q, rank % q
+        rng_a = np.random.default_rng(100 + rank)
+        a = rng_a.random((m, m)) - 0.5
+        b = np.random.default_rng(200 + rank).random((m, m)) - 0.5
+        c = np.zeros((m, m))
+        at = np.zeros((m, m))
+        brecv = np.zeros((m, m))
+        ctx.comm.barrier(ctx)
+        ctx.clock.sync_cpu()
+        t_start = ctx.clock.t
+        if gpu:
+            env.gpu_transfer(3 * a.nbytes)
+        for stage in range(q):
+            kbar = (row + stage) % q
+            root = row * q + kbar
+            if rank == root:
+                at[...] = a
+                for peer_col in range(q):
+                    dst = row * q + peer_col
+                    if dst != rank:
+                        ctx.comm.send(ctx, at.ravel(), dst, 100 + stage)
+            else:
+                ctx.comm.recv(ctx, at.ravel(), root, 100 + stage)
+            if gpu:
+                env.gpu_transfer(at.nbytes)
+                env.kernel_begin()
+            c_ref.mm_ikj(at.ravel(), b.ravel(), c.reshape(-1), m)
+            if gpu:
+                env.kernel_end()
+            if q > 1:
+                up = ((row - 1) % q) * q + col
+                down = ((row + 1) % q) * q + col
+                ctx.comm.sendrecv(ctx, b.ravel(), up, brecv.ravel(), down, 200 + stage)
+                b[...] = brecv
+        if gpu:
+            env.gpu_transfer(c.nbytes)
+        ctx.clock.sync_cpu()
+        secs = ctx.clock.t - t_start
+        return (ctx.comm.allreduce_sum(ctx, float(c.sum())), secs)
+
+    res = mpirun(nranks, body, net=net, gpu_model=gpu_model if gpu else None)
+    return CompRow(
+        "c-ref", max(s for _, s in res.returns), float(res.returns[0][0]),
+        work, comm_s=max(res.comm_times), device_s=max(res.device_times),
+    )

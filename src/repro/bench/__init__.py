@@ -1,0 +1,14 @@
+"""Benchmark harness: per-figure/table drivers for the paper's evaluation.
+
+Each ``figNN``/``tableN`` function in :mod:`repro.bench.figures` regenerates
+one experiment of the paper's §4 and returns a :class:`~repro.bench.harness.
+Series` (rows + rendered table).  ``benchmarks/`` wraps them in
+pytest-benchmark targets; problem sizes come from
+:mod:`repro.bench.workloads` (CI-sized by default, ``REPRO_PAPER_SIZES=1``
+for the paper's sizes).
+"""
+
+from repro.bench.harness import Series, render_table
+from repro.bench import figures, workloads
+
+__all__ = ["Series", "figures", "render_table", "workloads"]

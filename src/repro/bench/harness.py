@@ -1,0 +1,68 @@
+"""Series/table plumbing shared by all benchmark drivers."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Series", "render_table", "results_dir", "save_series"]
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """Monospace table with aligned columns and compact float formatting."""
+    def fmt(v):
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1e4 or abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.4f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+@dataclass
+class Series:
+    """One experiment's regenerated data."""
+
+    exp_id: str          # e.g. "fig04"
+    title: str           # the paper's caption, paraphrased
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        body = render_table(self.headers, self.rows)
+        head = f"== {self.exp_id}: {self.title} =="
+        tail = f"\n{self.notes}" if self.notes else ""
+        return f"{head}\n{body}{tail}\n"
+
+    def column(self, name: str) -> list:
+        i = self.headers.index(name)
+        return [row[i] for row in self.rows]
+
+
+def results_dir() -> Path:
+    """Directory for rendered series ($REPRO_RESULTS_DIR, created)."""
+    root = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_series(series: Series) -> Path:
+    """Write one experiment's rendered table to the results directory."""
+    path = results_dir() / f"{series.exp_id}.txt"
+    path.write_text(series.render())
+    return path

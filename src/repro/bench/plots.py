@@ -1,0 +1,110 @@
+"""Terminal 'figures': ASCII bar and line charts for experiment series.
+
+The paper communicates most of its evaluation through figures; the
+reproduction's counterpart is text, so the report renders each regenerated
+series both as a table and as a small chart that makes the *shape* — who
+wins, how curves bend — visible at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import Series
+
+__all__ = ["bar_chart", "line_chart", "chart_for"]
+
+_BLOCKS = "▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    full = int(cells)
+    rest = cells - full
+    out = "█" * full
+    if rest > 1e-6 and full < width:
+        out += _BLOCKS[min(7, int(rest * 8))]
+    return out
+
+
+def bar_chart(labels: list[str], values: list[float], *, width: int = 40,
+              log: bool = True, unit: str = "s") -> str:
+    """Horizontal bars, optionally log-scaled (the paper's single-thread
+    comparisons span 3-4 orders of magnitude)."""
+    if not values:
+        return "(empty)"
+    vmax = max(values)
+    positive = [v for v in values if v > 0]
+    vmin = min(positive) if positive else 1.0
+    lines = []
+    lw = max(len(l) for l in labels)
+    for label, v in zip(labels, values):
+        if v <= 0:
+            frac = 0.0
+        elif log and vmax / max(vmin, 1e-300) > 50:
+            span = math.log10(vmax) - math.log10(vmin) + 1.0
+            frac = (math.log10(v) - math.log10(vmin) + 1.0) / span
+        else:
+            frac = v / vmax
+        lines.append(f"{label.ljust(lw)} |{_bar(frac, width).ljust(width)}| "
+                     f"{v:.3e} {unit}")
+    if log and positive and vmax / vmin > 50:
+        lines.append(f"{'':{lw}}  (log scale)")
+    return "\n".join(lines)
+
+
+def line_chart(xs: list, series: dict[str, list[float]], *, height: int = 10,
+               width: int = 52) -> str:
+    """Plot several time-vs-ranks curves on one log-y grid."""
+    points = [v for vs in series.values() for v in vs if v > 0]
+    if not points:
+        return "(empty)"
+    lo, hi = min(points), max(points)
+    if hi / lo < 1.2:
+        hi = lo * 1.2
+    llo, lhi = math.log10(lo), math.log10(hi)
+    grid = [[" "] * width for _ in range(height)]
+    marks = "oxs+*#@%"
+    n = len(xs)
+    for si, (name, vs) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        for i, v in enumerate(vs):
+            if v <= 0:
+                continue
+            col = int(i / max(1, n - 1) * (width - 1))
+            row = int((math.log10(v) - llo) / (lhi - llo) * (height - 1))
+            row = height - 1 - max(0, min(height - 1, row))
+            grid[row][col] = mark
+    lines = [f"{hi:9.2e} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " │" + "".join(row))
+    lines.append(f"{lo:9.2e} ┤" + "".join(grid[-1]))
+    lines.append(" " * 9 + " └" + "─" * width)
+    xticks = " " * 11 + str(xs[0]) + " " * max(1, width - len(str(xs[0])) - len(str(xs[-1]))) + str(xs[-1])
+    lines.append(xticks + "  (ranks)")
+    legend = "  ".join(f"{marks[i % len(marks)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def chart_for(series: Series) -> str:
+    """Best-effort chart for a figure series (bar for single-thread
+    comparisons, lines for scaling sweeps); empty string if the series
+    doesn't chart."""
+    headers = series.headers
+    if headers[:1] == ["variant"]:
+        sec_i = headers.index("seconds")
+        labels = [row[0] for row in series.rows]
+        values = [row[sec_i] for row in series.rows]
+        return bar_chart(labels, values)
+    if headers[:1] == ["ranks"]:
+        xs = [row[0] for row in series.rows]
+        curves = {}
+        for i, h in enumerate(headers):
+            if h.endswith("_s"):
+                curves[h[:-2]] = [row[i] for row in series.rows]
+        if curves:
+            return line_chart(xs, curves)
+    return ""

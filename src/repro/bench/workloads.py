@@ -1,0 +1,76 @@
+"""Problem-size sets for the benchmark drivers.
+
+The paper's sizes (128³/node diffusion on CPUs, 384³/GPU, 2048²-block
+matmul, ...) take minutes-to-hours on this single-core simulation host, so
+the default sizes are scaled down while keeping every structural property
+(divisibility for slabs and Fox grids, >1 interior plane per rank, enough
+work for the comparator gaps to show).  Set ``REPRO_PAPER_SIZES=1`` to use
+the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Workloads", "current"]
+
+
+def paper_sizes() -> bool:
+    return os.environ.get("REPRO_PAPER_SIZES", "") not in ("", "0", "false")
+
+
+@dataclass(frozen=True)
+class Workloads:
+    # single-thread diffusion (Figs 3, 17): global grid + steps
+    diff_nx: int
+    diff_ny: int
+    diff_nzg: int
+    diff_steps: int
+    # diffusion weak scaling (Figs 4, 6): per-rank slab
+    diff_weak_nzl: int
+    diff_weak_ranks: tuple
+    # diffusion strong scaling (Figs 5, 7, 13, 14): total interior z
+    diff_strong_nzg: int
+    diff_strong_ranks: tuple
+    # GPU diffusion sizes (Figs 6, 7)
+    diff_gpu_nx: int
+    diff_gpu_ny: int
+    diff_gpu_nzl: int
+    # single-thread matmul (Fig 18)
+    mm_n: int
+    mm_java_n: int
+    # matmul scaling (Figs 9-12, 15, 16): per-rank block edge, rank counts
+    mm_weak_m: int
+    mm_ranks: tuple        # must be perfect squares (Fox)
+    mm_strong_n: int       # fixed global edge for strong scaling
+
+
+# Weak-scaling slabs are sized so one rank's working set (~3 MB double-
+# buffered) already exceeds this host's 2 MB L2: single-rank sweeps then
+# stream from L3 just like interleaved multi-rank sweeps do, so the
+# simulated weak-scaling baseline is not flattered by a hot cache.
+CI = Workloads(
+    diff_nx=64, diff_ny=64, diff_nzg=32, diff_steps=4,
+    diff_weak_nzl=96, diff_weak_ranks=(1, 2, 4, 8, 16),
+    diff_strong_nzg=384, diff_strong_ranks=(1, 2, 4, 8, 16),
+    diff_gpu_nx=64, diff_gpu_ny=64, diff_gpu_nzl=96,
+    mm_n=96, mm_java_n=48,
+    mm_weak_m=64, mm_ranks=(1, 4, 9, 16),
+    mm_strong_n=192,
+)
+
+PAPER = Workloads(
+    diff_nx=128, diff_ny=128, diff_nzg=128, diff_steps=8,
+    diff_weak_nzl=128, diff_weak_ranks=(1, 2, 4, 8, 16, 32, 64),
+    diff_strong_nzg=128 * 8, diff_strong_ranks=(1, 2, 4, 8, 16, 32, 64),
+    diff_gpu_nx=384, diff_gpu_ny=384, diff_gpu_nzl=96,
+    mm_n=1024, mm_java_n=256,
+    mm_weak_m=512, mm_ranks=(1, 4, 16, 64),
+    mm_strong_n=2048,
+)
+
+
+def current() -> Workloads:
+    """The active workload set (PAPER when REPRO_PAPER_SIZES is set)."""
+    return PAPER if paper_sizes() else CI

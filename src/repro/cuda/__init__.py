@@ -1,0 +1,35 @@
+"""Simulated CUDA substrate.
+
+The paper runs translated kernels on NVIDIA M2050 GPUs.  This environment
+has no GPU, so — per the reproduction's substitution rule — we build the
+closest synthetic equivalent that exercises the same code paths:
+
+* the guest-language surface is preserved: ``@global_kernel`` methods,
+  :class:`~repro.cuda.dim.dim3` / :class:`~repro.cuda.dim.CudaConfig`
+  launch configuration, ``cuda.tid_x()``-style thread intrinsics,
+  ``cuda.sync_threads()``, ``shared(...)`` fields, and explicit
+  ``cuda.copy_to_gpu`` / ``cuda.copy_from_gpu`` transfers between memory
+  spaces;
+* :class:`~repro.cuda.device.SimulatedGpu` executes kernels over the full
+  grid with a genuinely separate memory space (host access to device arrays
+  is an error), including cooperative per-block threads when a kernel uses
+  barriers;
+* :class:`~repro.cuda.perf.GpuModel` supplies M2050-like timing so the
+  scaling experiments can report simulated GPU wall-clock.
+"""
+
+from repro.cuda.api import cuda
+from repro.cuda.device import DeviceArray, SimulatedGpu, default_device
+from repro.cuda.dim import CudaConfig, dim3
+from repro.cuda.perf import GpuModel, M2050_MODEL
+
+__all__ = [
+    "CudaConfig",
+    "DeviceArray",
+    "GpuModel",
+    "M2050_MODEL",
+    "SimulatedGpu",
+    "cuda",
+    "default_device",
+    "dim3",
+]

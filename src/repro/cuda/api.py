@@ -1,0 +1,181 @@
+"""The ``cuda`` guest API object and its intrinsic registrations.
+
+Guest code uses a small, explicit surface (each call becomes one native
+construct in the C backend, exactly like the paper's ``CUDA`` utility
+class):
+
+===========================  =============================================
+Guest call                   CUDA meaning
+===========================  =============================================
+``cuda.tid_x() / _y / _z``   ``threadIdx.x / .y / .z``
+``cuda.bid_x() / _y / _z``   ``blockIdx.x / .y / .z``
+``cuda.bdim_x() / _y / _z``  ``blockDim.x / .y / .z``
+``cuda.gdim_x() / _y / _z``  ``gridDim.x / .y / .z``
+``cuda.sync_threads()``      ``__syncthreads()``
+``cuda.copy_to_gpu(a)``      ``cudaMalloc`` + ``cudaMemcpy`` host→device
+``cuda.copy_from_gpu(a)``    ``cudaMemcpy`` device→host (returns host array)
+``cuda.device_zeros(t, n)``  ``cudaMalloc`` + ``cudaMemset``
+``cuda.free_gpu(a)``         ``cudaFree``
+===========================  =============================================
+
+Under direct CPython execution the same calls are serviced by the simulated
+device through the thread-local runtime context.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CudaError
+from repro.lang import types as _t
+from repro.lang.intrinsics import IntrinsicSpec, intrinsic_registry
+
+__all__ = ["cuda"]
+
+
+def _ctx():
+    from repro import rt
+
+    ctx = rt.current.cuda_ctx
+    if ctx is None:
+        raise CudaError(
+            "thread intrinsics are only available inside a kernel launch"
+        )
+    return ctx
+
+
+def _device():
+    from repro import rt
+    from repro.cuda.device import default_device
+
+    return rt.current.cuda_device or default_device()
+
+
+class _Cuda:
+    """Interpreted implementations of the cuda intrinsics."""
+
+    # --- thread geometry (device-side) ---------------------------------
+    @staticmethod
+    def tid_x():
+        return _ctx().tid[0]
+
+    @staticmethod
+    def tid_y():
+        return _ctx().tid[1]
+
+    @staticmethod
+    def tid_z():
+        return _ctx().tid[2]
+
+    @staticmethod
+    def bid_x():
+        return _ctx().bid[0]
+
+    @staticmethod
+    def bid_y():
+        return _ctx().bid[1]
+
+    @staticmethod
+    def bid_z():
+        return _ctx().bid[2]
+
+    @staticmethod
+    def bdim_x():
+        return _ctx().bdim[0]
+
+    @staticmethod
+    def bdim_y():
+        return _ctx().bdim[1]
+
+    @staticmethod
+    def bdim_z():
+        return _ctx().bdim[2]
+
+    @staticmethod
+    def gdim_x():
+        return _ctx().gdim[0]
+
+    @staticmethod
+    def gdim_y():
+        return _ctx().gdim[1]
+
+    @staticmethod
+    def gdim_z():
+        return _ctx().gdim[2]
+
+    @staticmethod
+    def sync_threads():
+        _ctx().sync()
+
+    # --- memory management (host-side) ----------------------------------
+    @staticmethod
+    def copy_to_gpu(arr):
+        return _device().copy_to_gpu(arr)
+
+    @staticmethod
+    def copy_from_gpu(darr):
+        return _device().copy_from_gpu(darr)
+
+    @staticmethod
+    def device_zeros(elem, n):
+        return _device().device_zeros(elem, int(n))
+
+    @staticmethod
+    def free_gpu(darr):
+        return _device().free_gpu(darr)
+
+
+cuda = _Cuda()
+
+
+def _same_array(arg_types):
+    ty = arg_types[0]
+    assert isinstance(ty, _t.ArrayType)
+    return ty
+
+
+def _dz_ret(arg_types):
+    elem = arg_types[0]
+    assert isinstance(elem, _t.PrimType)
+    return _t.ArrayType(elem)
+
+
+_GEOM = [
+    ("tid_x", cuda.tid_x), ("tid_y", cuda.tid_y), ("tid_z", cuda.tid_z),
+    ("bid_x", cuda.bid_x), ("bid_y", cuda.bid_y), ("bid_z", cuda.bid_z),
+    ("bdim_x", cuda.bdim_x), ("bdim_y", cuda.bdim_y), ("bdim_z", cuda.bdim_z),
+    ("gdim_x", cuda.gdim_x), ("gdim_y", cuda.gdim_y), ("gdim_z", cuda.gdim_z),
+]
+
+for _name, _impl in _GEOM:
+    intrinsic_registry.register(
+        cuda,
+        (_name,),
+        IntrinsicSpec(key=f"cuda.tid.{_name}", ret=_t.I64, pyimpl=_impl),
+    )
+
+intrinsic_registry.register(
+    cuda,
+    ("sync_threads",),
+    IntrinsicSpec(key="cuda.tid.sync", ret=_t.VOID, pyimpl=cuda.sync_threads),
+)
+intrinsic_registry.register(
+    cuda,
+    ("copy_to_gpu",),
+    IntrinsicSpec(key="cuda.copy_to_gpu", ret=_same_array, pyimpl=cuda.copy_to_gpu),
+)
+intrinsic_registry.register(
+    cuda,
+    ("copy_from_gpu",),
+    IntrinsicSpec(key="cuda.copy_from_gpu", ret=_same_array, pyimpl=cuda.copy_from_gpu),
+)
+intrinsic_registry.register(
+    cuda,
+    ("device_zeros",),
+    IntrinsicSpec(
+        key="cuda.device_zeros", ret=_dz_ret, pyimpl=cuda.device_zeros, const_head=1
+    ),
+)
+intrinsic_registry.register(
+    cuda,
+    ("free_gpu",),
+    IntrinsicSpec(key="cuda.free_gpu", ret=_t.VOID, pyimpl=cuda.free_gpu),
+)

@@ -1,0 +1,297 @@
+"""Simulated GPU device: separate memory space + grid execution.
+
+The paper stresses that translated code runs in a separate memory space and
+GPU code in yet another (§3.1): arguments are deeply copied in, and data is
+never transparently shared.  :class:`SimulatedGpu` enforces the same
+discipline at the Python level — host code cannot index a
+:class:`DeviceArray`; explicit ``copy_to_gpu`` / ``copy_from_gpu`` calls
+cross the boundary and are metered for the timing model.
+
+Kernel launches execute every (block, thread) coordinate.  Kernels that call
+``cuda.sync_threads()`` are run with one cooperative OS thread per logical
+thread of a block, synchronized with a barrier, block by block — full CUDA
+barrier semantics.  Barrier-free kernels take a fast sequential path.  A
+kernel that surprises the sequential path with a barrier is restarted
+cooperatively after device memory is rolled back, so the fast path is always
+safe to try.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import CudaError
+from repro.lang import types as _t
+
+__all__ = ["DeviceArray", "SimulatedGpu", "default_device", "ThreadContext"]
+
+
+class _NeedCooperative(Exception):
+    """Raised when a sequentially-executed kernel hits sync_threads()."""
+
+
+class DeviceArray:
+    """An array living in simulated device memory.
+
+    Indexable only while a kernel is executing on the owning device; host
+    access raises :class:`~repro.errors.CudaError`, modelling the separate
+    GPU memory space.
+    """
+
+    def __init__(self, device: "SimulatedGpu", data: np.ndarray):
+        self.device = device
+        self.data = data
+        self.freed = False
+
+    def _check(self):
+        if self.freed:
+            raise CudaError("use of freed device memory")
+        from repro import rt
+
+        ctx = rt.current.cuda_ctx
+        if ctx is None or ctx.device is not self.device:
+            raise CudaError(
+                "host access to device memory; use cuda.copy_from_gpu first"
+            )
+
+    def __getitem__(self, i):
+        self._check()
+        return self.data[i].item()
+
+    def __setitem__(self, i, v):
+        self._check()
+        self.data[i] = v
+
+    def __len__(self):
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+
+class ThreadContext:
+    """Per-logical-thread geometry bound into the runtime context during
+    interpreted kernel execution."""
+
+    def __init__(self, device, tid, bid, bdim, gdim, barrier=None):
+        self.device = device
+        self.tid = tid
+        self.bid = bid
+        self.bdim = bdim
+        self.gdim = gdim
+        self.barrier = barrier
+
+    def sync(self):
+        if self.barrier is None:
+            raise _NeedCooperative()
+        self.barrier.wait()
+
+
+class SimulatedGpu:
+    """One simulated GPU with its own memory space and transfer metering."""
+
+    #: safety cap on cooperative per-block OS threads
+    MAX_COOPERATIVE_BLOCK = 1024
+
+    def __init__(self, name: str = "sim-m2050", memory_bytes: int = 3 << 30):
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self.allocated = 0
+        self.arrays: list[DeviceArray] = []
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+        self.kernel_launches = 0
+
+    # -- memory ----------------------------------------------------------
+
+    def _register(self, data: np.ndarray) -> DeviceArray:
+        if self.allocated + data.nbytes > self.memory_bytes:
+            raise CudaError(
+                f"device OOM: {self.allocated + data.nbytes} > {self.memory_bytes}"
+            )
+        arr = DeviceArray(self, data)
+        self.allocated += data.nbytes
+        self.arrays.append(arr)
+        return arr
+
+    def copy_to_gpu(self, host_arr) -> DeviceArray:
+        if isinstance(host_arr, DeviceArray):
+            raise CudaError("copy_to_gpu of a device array")
+        data = np.array(host_arr, copy=True)
+        self.bytes_to_device += data.nbytes
+        return self._register(data)
+
+    def copy_from_gpu(self, darr: DeviceArray) -> np.ndarray:
+        if not isinstance(darr, DeviceArray):
+            raise CudaError("copy_from_gpu of a host array")
+        if darr.freed:
+            raise CudaError("copy_from_gpu of freed device memory")
+        self.bytes_to_host += darr.data.nbytes
+        return darr.data.copy()
+
+    def device_zeros(self, elem: _t.PrimType, n: int) -> DeviceArray:
+        return self._register(np.zeros(n, dtype=elem.np_dtype))
+
+    def free_gpu(self, darr: DeviceArray) -> None:
+        if darr.freed:
+            raise CudaError("double free of device memory")
+        darr.freed = True
+        self.allocated -= darr.data.nbytes
+        self.arrays.remove(darr)
+
+    def reset(self) -> None:
+        """Release all device memory (between experiments)."""
+        for arr in self.arrays:
+            arr.freed = True
+        self.arrays.clear()
+        self.allocated = 0
+
+    # -- kernel execution (interpreted path) ------------------------------
+
+    def launch(self, kernel_func, recv, config, args) -> None:
+        """Execute ``kernel_func(recv, config, *args)`` over the whole grid.
+
+        Used when the guest library runs directly under CPython; the
+        translated backends have their own launch code paths.
+        """
+        from repro import rt
+
+        if rt.current.cuda_ctx is not None:
+            raise CudaError("nested kernel launches are not supported")
+        self.kernel_launches += 1
+        gdim = (int(config.grid.x), int(config.grid.y), int(config.grid.z))
+        bdim = (int(config.block.x), int(config.block.y), int(config.block.z))
+        for d in (*gdim, *bdim):
+            if d < 1:
+                raise CudaError(f"non-positive launch extent in {gdim}x{bdim}")
+        cooperative = self._uses_barrier(kernel_func)
+        if not cooperative:
+            snapshot = [(a, a.data.copy()) for a in self.arrays]
+            try:
+                self._launch_sequential(kernel_func, recv, config, args, gdim, bdim)
+                return
+            except _NeedCooperative:
+                for arr, saved in snapshot:
+                    arr.data[...] = saved
+        self._launch_cooperative(kernel_func, recv, config, args, gdim, bdim)
+
+    @staticmethod
+    def _uses_barrier(kernel_func) -> bool:
+        """Cheap upfront probe: does the kernel source mention a barrier?
+        (A wrong 'no' is still safe — the sequential path rolls back and
+        restarts cooperatively.)"""
+        import inspect
+
+        func = getattr(kernel_func, "__wj_kernel_impl__", kernel_func)
+        try:
+            return "sync_threads" in inspect.getsource(func)
+        except (OSError, TypeError):
+            return False
+
+    def _block_ids(self, gdim):
+        for bz in range(gdim[2]):
+            for by in range(gdim[1]):
+                for bx in range(gdim[0]):
+                    yield (bx, by, bz)
+
+    def _thread_ids(self, bdim):
+        for tz in range(bdim[2]):
+            for ty in range(bdim[1]):
+                for tx in range(bdim[0]):
+                    yield (tx, ty, tz)
+
+    def _launch_sequential(self, kernel_func, recv, config, args, gdim, bdim):
+        from repro import rt
+
+        impl = getattr(kernel_func, "__wj_kernel_impl__", kernel_func)
+        for bid in self._block_ids(gdim):
+            with _fresh_shared(recv):
+                for tid in self._thread_ids(bdim):
+                    rt.current.cuda_ctx = ThreadContext(self, tid, bid, bdim, gdim)
+                    try:
+                        impl(recv, config, *args)
+                    finally:
+                        rt.current.cuda_ctx = None
+
+    def _launch_cooperative(self, kernel_func, recv, config, args, gdim, bdim):
+        from repro import rt
+
+        impl = getattr(kernel_func, "__wj_kernel_impl__", kernel_func)
+        nthreads = bdim[0] * bdim[1] * bdim[2]
+        if nthreads > self.MAX_COOPERATIVE_BLOCK:
+            raise CudaError(
+                f"cooperative launch with {nthreads} threads/block exceeds "
+                f"the simulator cap ({self.MAX_COOPERATIVE_BLOCK})"
+            )
+        for bid in self._block_ids(gdim):
+            with _fresh_shared(recv):
+                barrier = threading.Barrier(nthreads)
+                errors: list[BaseException] = []
+
+                def worker(tid):
+                    rt.current.cuda_ctx = ThreadContext(
+                        self, tid, bid, bdim, gdim, barrier=barrier
+                    )
+                    try:
+                        impl(recv, config, *args)
+                    except BaseException as exc:  # propagate to launcher
+                        errors.append(exc)
+                        barrier.abort()
+                    finally:
+                        rt.current.cuda_ctx = None
+
+                threads = [
+                    threading.Thread(target=worker, args=(tid,), daemon=True)
+                    for tid in self._thread_ids(bdim)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                if errors:
+                    raise errors[0]
+
+
+class _fresh_shared:
+    """Context manager giving each block a fresh copy of the receiver's
+    CUDA shared-memory fields (CUDA __shared__ is per-block)."""
+
+    def __init__(self, recv):
+        self.recv = recv
+        self.saved: list[tuple[str, object]] = []
+
+    def __enter__(self):
+        info = _t.wootin_info(type(self.recv)) if self.recv is not None else None
+        if info is None:
+            return self
+        shared_names: set[str] = set()
+        cur = [info]
+        while cur:
+            c = cur.pop()
+            shared_names.update(c.shared_fields)
+            cur.extend(c.bases)
+        for name in shared_names:
+            old = getattr(self.recv, name, None)
+            if old is not None:
+                self.saved.append((name, old))
+                setattr(self.recv, name, np.zeros_like(np.asarray(old)))
+        return self
+
+    def __exit__(self, *exc):
+        for name, old in self.saved:
+            setattr(self.recv, name, old)
+        return False
+
+
+_default: SimulatedGpu | None = None
+
+
+def default_device() -> SimulatedGpu:
+    """The process-wide default simulated GPU."""
+    global _default
+    if _default is None:
+        _default = SimulatedGpu()
+    return _default

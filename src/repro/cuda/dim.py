@@ -1,0 +1,53 @@
+"""CUDA launch-configuration guest classes.
+
+``dim3`` mirrors CUDA's ``dim3``; :class:`CudaConfig` is the paper's
+``CudaConfig`` — "since a global function in CUDA takes special arguments
+surrounded by ``<<< >>>``, the method annotated with ``@Global`` instead
+takes a CudaConfig object as the first argument" (§3.1).
+
+Both are ordinary ``@wootin`` guest classes, so launch configurations flow
+through the same shape analysis as any other object: when the extents come
+from the immutable snapshot they fold to compile-time constants in the
+generated launch loops.
+"""
+
+from __future__ import annotations
+
+from repro.lang.annotations import wootin
+from repro.lang.types import i64
+
+
+@wootin
+class dim3:
+    """A 3-component extent (CUDA ``dim3``).
+
+    The coding rules forbid default parameter values, so all three
+    components are explicit: ``dim3(n, 1, 1)``.
+    """
+
+    x: i64
+    y: i64
+    z: i64
+
+    def __init__(self, x: i64, y: i64, z: i64):
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def count(self) -> i64:
+        return self.x * self.y * self.z
+
+
+@wootin
+class CudaConfig:
+    """Kernel launch configuration: grid and block extents."""
+
+    grid: dim3
+    block: dim3
+
+    def __init__(self, grid: dim3, block: dim3):
+        self.grid = grid
+        self.block = block
+
+    def total_threads(self) -> i64:
+        return self.grid.count() * self.block.count()

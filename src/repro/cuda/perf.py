@@ -1,0 +1,52 @@
+"""GPU timing model.
+
+The host machine has no GPU, so kernel *results* come from emulated
+execution while kernel *times* come from this analytic model — the standard
+trace-driven-simulation split (results are exact, time is modeled).
+
+The model is deliberately simple and documented: a kernel that performs
+``work_s`` seconds of single-core scalar CPU work in emulation is assigned
+
+    t_gpu = launch_overhead + work_s / emulation_speedup
+
+and a PCIe transfer of ``nbytes`` costs ``nbytes / pcie_bandwidth``.
+``emulation_speedup`` is the throughput ratio between the modeled GPU and
+one host core on HPC inner loops; the M2050 default (~40x for
+bandwidth-bound stencil-like kernels on a ~2010 node) is derived from
+148 GB/s GDDR5 vs ~4 GB/s effective single-core streaming.  Absolute times
+are not the reproduction target — scaling *shapes* are — but the constants
+are kept physically plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuModel", "M2050_MODEL"]
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Analytic timing model for one simulated GPU."""
+
+    name: str = "NVIDIA M2050 (modeled)"
+    #: GPU-vs-one-host-core throughput ratio for emulated kernel work
+    emulation_speedup: float = 40.0
+    #: seconds per kernel launch (driver + dispatch)
+    launch_overhead_s: float = 7e-6
+    #: PCIe 2.0 x16 effective bandwidth, bytes/s
+    pcie_bandwidth: float = 5.0e9
+    #: device memory capacity, bytes (M2050: 3 GB)
+    memory_bytes: int = 3 << 30
+
+    def kernel_time(self, emulated_work_s: float) -> float:
+        """Modeled GPU time for a kernel whose emulation took
+        ``emulated_work_s`` of single-core CPU time."""
+        return self.launch_overhead_s + emulated_work_s / self.emulation_speedup
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Modeled host<->device copy time."""
+        return 2e-6 + nbytes / self.pcie_bandwidth
+
+
+M2050_MODEL = GpuModel()

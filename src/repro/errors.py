@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro (WootinJ-reproduction) framework.
+
+Every error raised by the framework derives from :class:`ReproError` so that
+callers can catch framework problems without masking ordinary Python bugs in
+guest code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class CodingRuleViolation(ReproError):
+    """Guest code violates one of the WootinJ coding rules (paper §3.2).
+
+    Carries the rule number (1-8, or 0 for the strict-final / semi-immutable
+    structural requirements) and, when available, the source location.
+    """
+
+    def __init__(self, message: str, *, rule: int = 0, where: str | None = None):
+        self.rule = rule
+        self.where = where
+        loc = f" [{where}]" if where else ""
+        rid = f" (rule {rule})" if rule else ""
+        super().__init__(f"{message}{rid}{loc}")
+
+
+class NotStrictFinal(CodingRuleViolation):
+    """A type required to be strict-final is not (paper §3.2 definitions)."""
+
+
+class NotSemiImmutable(CodingRuleViolation):
+    """A type required to be semi-immutable is not (paper §3.2 definitions)."""
+
+
+class LoweringError(ReproError):
+    """Guest source uses a construct outside the supported subset."""
+
+    def __init__(self, message: str, *, where: str | None = None):
+        self.where = where
+        loc = f" [{where}]" if where else ""
+        super().__init__(f"{message}{loc}")
+
+
+class TypeFlowError(ReproError):
+    """Static type determination failed (should be impossible for rule-
+    conforming code; raised when the analysis cannot prove a concrete type)."""
+
+
+class BackendError(ReproError):
+    """Code generation or native compilation failed."""
+
+
+class CompilationUnavailable(BackendError):
+    """No working C compiler was found for the C backend."""
+
+
+class JitError(ReproError):
+    """Misuse of the JIT engine API (bad entry, wrong arguments, ...)."""
+
+
+class MpiError(ReproError):
+    """Misuse of the simulated MPI substrate (bad rank, tag mismatch, ...)."""
+
+
+class CudaError(ReproError):
+    """Misuse of the simulated CUDA substrate (host access to device memory,
+    out-of-range thread configuration, ...)."""
+
+
+class GuestRuntimeError(ReproError):
+    """An error raised from inside translated guest code at run time."""

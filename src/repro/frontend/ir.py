@@ -1,0 +1,420 @@
+"""Typed intermediate representation.
+
+Lowering (``repro.frontend.lower``) turns guest Python ASTs into this IR with
+every expression carrying both its guest :class:`~repro.lang.types.Type`
+(``.ty``) and its :class:`~repro.frontend.shapes.Shape` (``.shape``).  By the
+time IR exists, *devirtualization has already happened*: every method call is
+a :class:`Call` with a resolved specialization target, and every object
+reference has a statically-known concrete class — exactly the property the
+paper's coding rules are designed to guarantee.
+
+Representation conventions shared by the backends:
+
+* **snapshot objects** (reachable from the entry receiver/arguments; the
+  paper's semi-immutable composed object) are materialized as global
+  singletons and referenced by pointer, so that their *array-typed* fields —
+  the only mutable state the rules permit — behave with reference semantics
+  (double buffering needs this);
+* **dynamic objects** (constructed inside translated code) have value
+  semantics: copies are stored and passed, which the paper notes is sound
+  because such objects are immutable.  Array-field stores on dynamic objects
+  are rejected by the rule checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang import types as _t
+from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape, Shape
+
+__all__ = [
+    "Expr", "Stmt", "FuncIR",
+    "Const", "LocalRef", "FieldLoad", "ArrayLoad", "ArrayLen", "BinOp",
+    "UnaryOp", "Compare", "BoolOp", "Cast", "Call", "IntrinsicCall",
+    "NewObj", "KernelLaunch",
+    "LocalDecl", "Assign", "FieldStore", "ArrayStore", "If", "ForRange",
+    "While", "Return", "ExprStmt", "Break", "Continue",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    ty: _t.Type = field(init=False, default=None)  # set by subclasses
+    shape: Optional[Shape] = field(init=False, default=None)
+
+
+@dataclass
+class Const(Expr):
+    value: object
+    prim: _t.PrimType
+
+    def __post_init__(self):
+        self.ty = self.prim
+        self.shape = PrimShape(self.prim, const=self.value)
+
+
+@dataclass
+class LocalRef(Expr):
+    """Reference to a local variable or parameter."""
+
+    name: str
+    ref_ty: _t.Type
+    ref_shape: Shape
+
+    def __post_init__(self):
+        self.ty = self.ref_ty
+        self.shape = self.ref_shape
+
+
+@dataclass
+class FieldLoad(Expr):
+    obj: Expr
+    fname: str
+
+    def __post_init__(self):
+        obj_shape = self.obj.shape
+        assert isinstance(obj_shape, ObjShape), obj_shape
+        self.shape = obj_shape.field(self.fname)
+        self.ty = self.shape.ty
+
+
+@dataclass
+class ArrayLoad(Expr):
+    arr: Expr
+    index: Expr
+
+    def __post_init__(self):
+        assert isinstance(self.arr.ty, _t.ArrayType)
+        self.ty = self.arr.ty.elem
+        self.shape = PrimShape(self.ty)
+
+
+@dataclass
+class ArrayLen(Expr):
+    arr: Expr
+
+    def __post_init__(self):
+        self.ty = _t.I64
+        self.shape = PrimShape(_t.I64)
+
+
+@dataclass
+class BinOp(Expr):
+    """Arithmetic. op in {+,-,*,/,//,%,**}; result type precomputed by
+    lowering with C-style promotion (``/`` always yields f64, ``//`` and
+    ``%`` follow Python floor semantics in both backends)."""
+
+    op: str
+    left: Expr
+    right: Expr
+    res: _t.PrimType
+
+    def __post_init__(self):
+        self.ty = self.res
+        self.shape = PrimShape(self.res)
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # '-' | 'not'
+    operand: Expr
+    res: _t.PrimType
+
+    def __post_init__(self):
+        self.ty = self.res
+        self.shape = PrimShape(self.res)
+
+
+@dataclass
+class Compare(Expr):
+    op: str  # '<' '<=' '>' '>=' '==' '!='
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        self.ty = _t.BOOL
+        self.shape = PrimShape(_t.BOOL)
+
+
+@dataclass
+class BoolOp(Expr):
+    op: str  # 'and' | 'or'  (short-circuit)
+    values: list
+
+    def __post_init__(self):
+        self.ty = _t.BOOL
+        self.shape = PrimShape(_t.BOOL)
+
+
+@dataclass
+class Cast(Expr):
+    value: Expr
+    to: _t.PrimType
+
+    def __post_init__(self):
+        self.ty = self.to
+        const = None
+        vs = self.value.shape
+        if isinstance(vs, PrimShape) and vs.const is not None:
+            const = self.to(vs.const)
+        self.shape = PrimShape(self.to, const=const)
+
+
+@dataclass
+class Call(Expr):
+    """A devirtualized (direct) call to a specialized guest method.
+
+    ``target`` is a ``Specialization`` (see :mod:`repro.jit.specialize`)
+    carrying the emitted symbol name and the callee's return shape.
+    ``site_id`` identifies the call site for the VIRTUAL backend mode, which
+    re-introduces dynamic dispatch through a runtime-initialized
+    function-pointer table to model the paper's "C++ with virtual functions"
+    comparator.  ``static_cls`` is the receiver's *declared* class — the
+    dispatch interface.
+    """
+
+    target: object
+    recv: Optional[Expr]
+    args: list
+    site_id: int
+    static_cls: Optional[_t.ClassInfo]
+    method_name: str
+
+    def __post_init__(self):
+        self.ty = self.target.ret_type
+        self.shape = self.target.ret_shape
+
+
+@dataclass
+class IntrinsicCall(Expr):
+    """MPI/CUDA/math/FFI/utility intrinsic (paper §3 'Multiplatform')."""
+
+    key: str
+    args: list
+    res_ty: _t.Type
+    const_args: tuple = ()  # leading compile-time-constant arguments
+
+    def __post_init__(self):
+        self.ty = self.res_ty
+        if isinstance(self.res_ty, _t.PrimType):
+            self.shape = PrimShape(self.res_ty)
+        elif isinstance(self.res_ty, _t.ArrayType):
+            self.shape = ArrayShape(self.res_ty)
+        else:
+            self.shape = None
+
+
+@dataclass
+class NewObj(Expr):
+    """Object construction with the constructor abstractly pre-executed.
+
+    The coding rules make constructors straight-line field initializations,
+    so lowering evaluates them symbolically: ``field_inits`` maps every field
+    to the initializing expression.  Backends emit a struct value (or, in
+    VIRTUAL mode, a boxed allocation) — this is the paper's constructor
+    inlining (§3.3 "Constructors").
+    """
+
+    cls: _t.ClassInfo
+    field_inits: dict
+    obj_shape: ObjShape
+
+    def __post_init__(self):
+        self.ty = self.cls.type
+        self.shape = self.obj_shape
+
+
+@dataclass
+class KernelLaunch(Expr):
+    """A call to a ``@global_kernel`` method — a CUDA kernel launch.
+
+    ``config`` evaluates to a CudaConfig object shape (grid/block extents);
+    ``target`` is the kernel body's specialization compiled in device mode.
+    The launch is an expression of type void (statement position only).
+    """
+
+    target: object
+    recv: Optional[Expr]
+    config: Expr
+    args: list
+    site_id: int
+    method_name: str
+
+    def __post_init__(self):
+        self.ty = _t.VOID
+        self.shape = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """First assignment of a local: declares it with its strict-final type."""
+
+    name: str
+    decl_ty: _t.Type
+    value: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    name: str
+    decl_ty: _t.Type
+    value: Expr
+
+
+@dataclass
+class FieldStore(Stmt):
+    """Store to an *array-typed* field of a snapshot object (the only field
+    mutation the rules allow — e.g. double-buffer swapping)."""
+
+    obj: Expr
+    fname: str
+    value: Expr
+
+
+@dataclass
+class ArrayStore(Stmt):
+    arr: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: list
+    orelse: list
+
+
+@dataclass
+class ForRange(Stmt):
+    var: str
+    start: Expr
+    stop: Expr
+    step: Optional[Expr]  # None means +1
+    body: list
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: list
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    value: Expr
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Functions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuncIR:
+    """One specialized guest method, lowered and devirtualized."""
+
+    symbol: str                      # mangled emission name
+    method: object                   # MethodInfo
+    self_shape: Optional[ObjShape]   # None for kernels' implicit config recv? no: self of method
+    param_names: list                # guest parameter names (excluding self)
+    param_shapes: list               # Shape per parameter
+    ret_type: _t.Type
+    ret_shape: Optional[Shape]
+    body: list                       # list[Stmt]
+    is_device: bool = False          # compiled for GPU (__device__/__global__)
+    is_kernel: bool = False          # the @global_kernel entry itself
+
+
+def walk_exprs(node):
+    """Yield every Expr in a statement list / expression tree (pre-order)."""
+    if isinstance(node, list):
+        for item in node:
+            yield from walk_exprs(item)
+        return
+    if isinstance(node, Expr):
+        yield node
+        children = []
+        if isinstance(node, FieldLoad):
+            children = [node.obj]
+        elif isinstance(node, ArrayLoad):
+            children = [node.arr, node.index]
+        elif isinstance(node, ArrayLen):
+            children = [node.arr]
+        elif isinstance(node, BinOp):
+            children = [node.left, node.right]
+        elif isinstance(node, UnaryOp):
+            children = [node.operand]
+        elif isinstance(node, Compare):
+            children = [node.left, node.right]
+        elif isinstance(node, BoolOp):
+            children = node.values
+        elif isinstance(node, Cast):
+            children = [node.value]
+        elif isinstance(node, Call):
+            children = ([node.recv] if node.recv is not None else []) + node.args
+        elif isinstance(node, IntrinsicCall):
+            children = node.args
+        elif isinstance(node, NewObj):
+            children = list(node.field_inits.values())
+        elif isinstance(node, KernelLaunch):
+            children = ([node.recv] if node.recv is not None else []) + [node.config] + node.args
+        for child in children:
+            yield from walk_exprs(child)
+        return
+    if isinstance(node, Stmt):
+        if isinstance(node, (LocalDecl, Assign)):
+            yield from walk_exprs(node.value)
+        elif isinstance(node, FieldStore):
+            yield from walk_exprs(node.obj)
+            yield from walk_exprs(node.value)
+        elif isinstance(node, ArrayStore):
+            for child in (node.arr, node.index, node.value):
+                yield from walk_exprs(child)
+        elif isinstance(node, If):
+            yield from walk_exprs(node.cond)
+            yield from walk_exprs(node.then)
+            yield from walk_exprs(node.orelse)
+        elif isinstance(node, ForRange):
+            yield from walk_exprs(node.start)
+            yield from walk_exprs(node.stop)
+            if node.step is not None:
+                yield from walk_exprs(node.step)
+            yield from walk_exprs(node.body)
+        elif isinstance(node, While):
+            yield from walk_exprs(node.cond)
+            yield from walk_exprs(node.body)
+        elif isinstance(node, Return):
+            if node.value is not None:
+                yield from walk_exprs(node.value)
+        elif isinstance(node, ExprStmt):
+            yield from walk_exprs(node.value)

@@ -1,0 +1,204 @@
+"""IR verifier + optimization statistics.
+
+``verify_program`` walks every specialized function after lowering and
+checks the invariants the backends rely on:
+
+* every expression carries a type, and (for non-void) a consistent shape;
+* every ``LocalRef`` refers to a parameter or an assigned local;
+* every ``Call``/``KernelLaunch`` passes exactly the callee's runtime
+  parameters, with assignable shapes;
+* array indices are integers; stores match element types (modulo the
+  C-style conversions lowering inserted);
+* device functions contain no MPI intrinsics, host functions no thread
+  geometry.
+
+It also gathers :class:`OptStats` — how much object orientation the
+translation removed (the quantities the paper's optimization discussion in
+§3 is about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError
+from repro.frontend import ir
+from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape
+from repro.lang import types as _t
+
+__all__ = ["OptStats", "verify_program"]
+
+
+@dataclass
+class OptStats:
+    """What devirtualization + object inlining removed."""
+
+    devirtualized_calls: int = 0     # dynamic dispatches turned into direct calls
+    kernel_launches: int = 0
+    inlined_constructions: int = 0   # NewObj sites (constructor inlining)
+    snapshot_field_loads: int = 0    # field loads resolved from the snapshot
+    folded_constants: int = 0        # expressions with known constant values
+    intrinsic_calls: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _Verifier:
+    def __init__(self, func_ir: ir.FuncIR, stats: OptStats):
+        self.f = func_ir
+        self.stats = stats
+        self.locals: set[str] = {"self", *func_ir.param_names}
+
+    def fail(self, msg: str) -> None:
+        raise BackendError(f"IR verification failed in {self.f.symbol}: {msg}")
+
+    # -- statements -------------------------------------------------------
+
+    def block(self, stmts) -> None:
+        for s in stmts:
+            self.stmt(s)
+
+    def stmt(self, s: ir.Stmt) -> None:
+        if isinstance(s, (ir.LocalDecl, ir.Assign)):
+            self.expr(s.value)
+            self.locals.add(s.name)
+            if s.decl_ty is _t.VOID:
+                self.fail(f"void-typed local {s.name!r}")
+        elif isinstance(s, ir.FieldStore):
+            self.expr(s.obj)
+            self.expr(s.value)
+            oshape = s.obj.shape
+            if not (isinstance(oshape, ObjShape) and oshape.from_snapshot):
+                self.fail("FieldStore on a non-snapshot object")
+            if not isinstance(oshape.field(s.fname), ArrayShape):
+                self.fail(f"FieldStore to non-array field {s.fname!r}")
+        elif isinstance(s, ir.ArrayStore):
+            self.expr(s.arr)
+            self.expr(s.index)
+            self.expr(s.value)
+            if not isinstance(s.arr.ty, _t.ArrayType):
+                self.fail("ArrayStore on a non-array value")
+            if not (isinstance(s.index.ty, _t.PrimType) and not s.index.ty.is_float):
+                self.fail("non-integer array index")
+        elif isinstance(s, ir.If):
+            self.expr(s.cond)
+            self.block(s.then)
+            self.block(s.orelse)
+        elif isinstance(s, ir.ForRange):
+            for e in (s.start, s.stop, *( [s.step] if s.step is not None else [] )):
+                self.expr(e)
+            self.locals.add(s.var)
+            self.block(s.body)
+        elif isinstance(s, ir.While):
+            self.expr(s.cond)
+            self.block(s.body)
+        elif isinstance(s, ir.Return):
+            if s.value is not None:
+                self.expr(s.value)
+                if self.f.ret_type is _t.VOID:
+                    self.fail("value returned from a void function")
+            elif self.f.ret_type is not _t.VOID:
+                self.fail("bare return in a non-void function")
+        elif isinstance(s, ir.ExprStmt):
+            self.expr(s.value)
+        elif isinstance(s, (ir.Break, ir.Continue)):
+            pass
+        else:
+            self.fail(f"unknown statement {type(s).__name__}")
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e: ir.Expr) -> None:
+        if e.ty is None:
+            self.fail(f"untyped expression {type(e).__name__}")
+        s = e.shape
+        if isinstance(s, PrimShape) and s.const is not None:
+            self.stats.folded_constants += 1
+        if isinstance(e, ir.LocalRef):
+            if e.name not in self.locals:
+                self.fail(f"reference to unassigned local {e.name!r}")
+        elif isinstance(e, ir.FieldLoad):
+            self.expr(e.obj)
+            oshape = e.obj.shape
+            if not isinstance(oshape, ObjShape):
+                self.fail("FieldLoad on a non-object value")
+            if oshape.from_snapshot:
+                self.stats.snapshot_field_loads += 1
+        elif isinstance(e, (ir.ArrayLoad,)):
+            self.expr(e.arr)
+            self.expr(e.index)
+            if not isinstance(e.arr.ty, _t.ArrayType):
+                self.fail("ArrayLoad on a non-array value")
+        elif isinstance(e, ir.ArrayLen):
+            self.expr(e.arr)
+        elif isinstance(e, (ir.BinOp, ir.Compare)):
+            self.expr(e.left)
+            self.expr(e.right)
+        elif isinstance(e, ir.UnaryOp):
+            self.expr(e.operand)
+        elif isinstance(e, ir.BoolOp):
+            for v in e.values:
+                self.expr(v)
+        elif isinstance(e, ir.Cast):
+            self.expr(e.value)
+        elif isinstance(e, ir.Call):
+            self._check_call(e)
+        elif isinstance(e, ir.KernelLaunch):
+            self._check_launch(e)
+        elif isinstance(e, ir.IntrinsicCall):
+            self.stats.intrinsic_calls += 1
+            if self.f.is_device and e.key.startswith("mpi."):
+                self.fail(f"MPI intrinsic {e.key} inside device code")
+            if not self.f.is_device and e.key.startswith("cuda.tid"):
+                self.fail(f"thread intrinsic {e.key} in host code")
+            for a in e.args:
+                self.expr(a)
+        elif isinstance(e, ir.NewObj):
+            self.stats.inlined_constructions += 1
+            want = set(e.obj_shape.fields)
+            got = set(e.field_inits)
+            if want != got:
+                self.fail(f"NewObj field mismatch: {want} vs {got}")
+            for v in e.field_inits.values():
+                self.expr(v)
+        elif isinstance(e, ir.Const):
+            pass
+        else:
+            self.fail(f"unknown expression {type(e).__name__}")
+
+    def _check_call(self, e: ir.Call) -> None:
+        self.stats.devirtualized_calls += 1
+        callee = e.target.func_ir
+        if callee is None:
+            self.fail("call to an unlowered specialization")
+        if callee.is_device and not self.f.is_device:
+            self.fail("host function calls a device function directly")
+        if e.recv is not None:
+            self.expr(e.recv)
+        if len(e.args) != len(callee.param_shapes):
+            self.fail(
+                f"arity mismatch calling {e.target.symbol}: "
+                f"{len(e.args)} vs {len(callee.param_shapes)}"
+            )
+        for a in e.args:
+            self.expr(a)
+
+    def _check_launch(self, e: ir.KernelLaunch) -> None:
+        self.stats.kernel_launches += 1
+        callee = e.target.func_ir
+        if not callee.is_device:
+            self.fail("kernel launch targets a host specialization")
+        self.expr(e.config)
+        if e.recv is not None:
+            self.expr(e.recv)
+        for a in e.args:
+            self.expr(a)
+
+
+def verify_program(program) -> OptStats:
+    """Verify every specialization; returns aggregated optimization stats."""
+    stats = OptStats()
+    for spec in program.specializations:
+        _Verifier(spec.func_ir, stats).block(spec.func_ir.body)
+    return stats

@@ -1,0 +1,263 @@
+"""The WootinJ-style JIT engine: ``jit`` / ``jit4mpi`` / ``jit4gpu``.
+
+Usage mirrors the paper's Listing 3::
+
+    stencil = StencilOnGpuAndMPI(generator, solver)
+    code = jit4mpi(stencil, "run", length, update_cnt)
+    code.set4mpi(128)
+    result = code.invoke()
+
+``jit*`` receives the live receiver and the *actual arguments* (recorded and
+used for optimization, §3.1); it snapshots the object graph, specializes and
+lowers every reachable method, emits through the selected backend, and
+returns a :class:`JitCode` handle.  ``invoke`` deep-copies the recorded
+array arguments into the translated memory space (per rank) and runs;
+mutations are not copied back — results return via the entry's return value
+and ``wj.output`` labels, as discussed in §3.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.base import Backend, CompiledProgram, OptLevel
+from repro.cuda.perf import GpuModel, M2050_MODEL
+from repro.errors import JitError
+from repro.frontend.objectgraph import snapshot_args
+from repro.jit.program import Program
+from repro.jit.runtime import RuntimeEnv
+from repro.jit.specialize import Specializer
+from repro.lang import types as _t
+from repro.mpi.launcher import mpirun
+from repro.mpi.netmodel import NetworkModel, TSUBAME_NET
+
+__all__ = ["jit", "jit4mpi", "jit4gpu", "JitCode", "JitReport", "InvokeResult"]
+
+
+@dataclass
+class JitReport:
+    """Compilation-time breakdown (the paper's Table 3 measures this)."""
+
+    translate_s: float = 0.0        # snapshot + rule check + lowering + emit
+    backend_compile_s: float = 0.0  # external compiler (gcc) time
+    n_specializations: int = 0
+    n_call_sites: int = 0
+    backend: str = ""
+    opt: str = ""
+    cache_hit: bool = False
+    #: what the translation removed/resolved (see frontend.verify.OptStats)
+    opt_stats: dict = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.translate_s + self.backend_compile_s
+
+
+@dataclass
+class InvokeResult:
+    """One invocation's results across ranks."""
+
+    value: object                 # rank 0's return value
+    returns: list                 # per-rank return values
+    outputs: list                 # per-rank {label: np.ndarray}
+    sim_time: float               # simulated wall-clock (max over ranks)
+    wall_s: float                 # real host seconds spent executing
+    comm_times: list = field(default_factory=list)
+    device_times: list = field(default_factory=list)
+
+    def output(self, label: str, rank: int = 0) -> np.ndarray:
+        return self.outputs[rank][label]
+
+
+_CODE_CACHE: dict[tuple, tuple[Program, CompiledProgram, JitReport]] = {}
+
+
+def clear_code_cache() -> None:
+    _CODE_CACHE.clear()
+
+
+def _make_backend(name: str) -> Backend:
+    if name == "py":
+        from repro.backends.pybackend import PyBackend
+
+        return PyBackend()
+    if name == "c":
+        from repro.backends.cbackend import CBackend
+
+        return CBackend()
+    if name == "auto":
+        from repro.backends.cbackend import CBackend, compiler_available
+
+        if compiler_available():
+            return CBackend()
+        from repro.backends.pybackend import PyBackend
+
+        return PyBackend()
+    raise JitError(f"unknown backend {name!r} (expected 'c', 'py', or 'auto')")
+
+
+class JitCode:
+    """Handle to one translated program (the paper's ``JitCode``)."""
+
+    def __init__(self, program: Program, compiled: CompiledProgram, report: JitReport):
+        self.program = program
+        self.compiled = compiled
+        self.report = report
+        self.nranks: Optional[int] = None
+        self.net: NetworkModel = TSUBAME_NET
+        self.gpu_model: Optional[GpuModel] = None
+        if program.uses_gpu:
+            self.gpu_model = M2050_MODEL
+
+    # -- configuration ------------------------------------------------------
+
+    def set4mpi(self, nranks: int, net: NetworkModel = TSUBAME_NET) -> "JitCode":
+        """Configure the simulated-MPI execution (paper: ``set4MPI(128,
+        "./nodeList")`` — the node list becomes a network model here)."""
+        if nranks < 1:
+            raise JitError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.net = net
+        return self
+
+    def set_gpu(self, model: Optional[GpuModel]) -> "JitCode":
+        """Bind (or disable, with None) the GPU timing model."""
+        self.gpu_model = model
+        return self
+
+    @property
+    def source(self) -> str:
+        """The generated C (or Python) source — the paper's Listing 5."""
+        return self.compiled.source
+
+    # -- execution ------------------------------------------------------------
+
+    def invoke(self) -> InvokeResult:
+        """Run the translated program with the recorded arguments."""
+        # without set4mpi the program runs as a 1-rank world (collectives
+        # degrade to no-ops, exactly like a single-node mpirun)
+        nranks = self.nranks or 1
+        slots = self.program.snapshot.array_slots
+
+        def body(ctx):
+            env = RuntimeEnv(ctx, gpu_model=self.gpu_model)
+            # deep copy into this rank's translated memory space
+            arrays = [np.array(s.array, copy=True) for s in slots]
+            value = self.compiled.run(env, arrays)
+            if ctx is not None:
+                ctx.outputs.update(env.outputs)
+            return value
+
+        t0 = time.perf_counter()
+        res = mpirun(nranks, body, net=self.net, gpu_model=self.gpu_model)
+        wall = time.perf_counter() - t0
+        return InvokeResult(
+            value=res.returns[0],
+            returns=res.returns,
+            outputs=res.outputs,
+            sim_time=res.sim_wall_clock,
+            wall_s=wall,
+            comm_times=res.comm_times,
+            device_times=res.device_times,
+        )
+
+
+def _compile(receiver, method: str, args, *, backend: str, opt: OptLevel,
+             use_cache: bool) -> JitCode:
+    info = _t.wootin_info(type(receiver))
+    if info is None:
+        raise JitError(
+            f"receiver of type {type(receiver).__name__} is not a @wootin class"
+        )
+    minfo = info.find_method(method)
+    if minfo is None:
+        raise JitError(f"class {info.name} has no method {method!r}")
+
+    t0 = time.perf_counter()
+    snapshot, recv_shape, arg_shapes = snapshot_args(receiver, args)
+    cache_key = (
+        id(minfo),
+        recv_shape.digest(),
+        tuple(s.digest() for s in arg_shapes),
+        backend,
+        opt.value,
+    )
+    if use_cache and cache_key in _CODE_CACHE:
+        program, compiled, base_report = _CODE_CACHE[cache_key]
+        report = JitReport(
+            translate_s=base_report.translate_s,
+            backend_compile_s=base_report.backend_compile_s,
+            n_specializations=base_report.n_specializations,
+            n_call_sites=base_report.n_call_sites,
+            backend=base_report.backend,
+            opt=base_report.opt,
+            cache_hit=True,
+            opt_stats=dict(base_report.opt_stats),
+        )
+        # rebind the cached program to the *current* argument arrays: slots
+        # index into the freshly captured snapshot
+        program = Program(
+            snapshot=snapshot,
+            specializations=program.specializations,
+            entry=program.entry,
+            recv_shape=recv_shape,
+            arg_shapes=arg_shapes,
+            n_sites=program.n_sites,
+            uses_mpi=program.uses_mpi,
+            uses_gpu=program.uses_gpu,
+        )
+        return JitCode(program, compiled, report)
+
+    program = Program(snapshot=snapshot, recv_shape=recv_shape, arg_shapes=arg_shapes)
+    specializer = Specializer(program)
+    entry_spec = specializer.specialize(minfo, recv_shape, arg_shapes, device=False)
+    program.entry = entry_spec
+    from repro.frontend.verify import verify_program
+
+    opt_stats = verify_program(program)
+    translate_s = time.perf_counter() - t0
+
+    backend_obj = _make_backend(backend)
+    t1 = time.perf_counter()
+    compiled = backend_obj.compile(program, opt)
+    backend_s = time.perf_counter() - t1
+
+    report = JitReport(
+        translate_s=translate_s,
+        backend_compile_s=backend_s,
+        n_specializations=len(program.specializations),
+        n_call_sites=program.n_sites,
+        backend=backend_obj.name,
+        opt=opt.value,
+        opt_stats=opt_stats.as_dict(),
+    )
+    if use_cache:
+        _CODE_CACHE[cache_key] = (program, compiled, report)
+    return JitCode(program, compiled, report)
+
+
+def jit(receiver, method: str, *args, backend: str = "auto",
+        opt: OptLevel = OptLevel.FULL, use_cache: bool = True) -> JitCode:
+    """Translate ``receiver.method(*args)`` for single-process execution."""
+    return _compile(receiver, method, args, backend=backend, opt=opt,
+                    use_cache=use_cache)
+
+
+def jit4mpi(receiver, method: str, *args, backend: str = "auto",
+            opt: OptLevel = OptLevel.FULL, use_cache: bool = True) -> JitCode:
+    """Translate for MPI execution (call ``set4mpi`` before ``invoke``)."""
+    return _compile(receiver, method, args, backend=backend, opt=opt,
+                    use_cache=use_cache)
+
+
+def jit4gpu(receiver, method: str, *args, backend: str = "auto",
+            opt: OptLevel = OptLevel.FULL, use_cache: bool = True) -> JitCode:
+    """Translate a program whose kernels run on the (simulated) GPU."""
+    code = _compile(receiver, method, args, backend=backend, opt=opt,
+                    use_cache=use_cache)
+    code.set_gpu(M2050_MODEL)
+    return code

@@ -1,0 +1,37 @@
+"""Program: the unit handed from the specializer to a backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend.objectgraph import Snapshot
+from repro.frontend.shapes import ObjShape, Shape
+
+__all__ = ["Program"]
+
+
+@dataclass
+class Program:
+    """Everything a backend needs to emit one translated program.
+
+    ``specializations`` is in dependency order (callees before callers;
+    the entry specialization is last).  ``snapshot`` carries the immutable
+    object graph (materialization layout + array slots); ``entry`` is the
+    entry method's specialization.
+    """
+
+    snapshot: Snapshot
+    specializations: list = field(default_factory=list)
+    entry: object = None
+    recv_shape: Optional[ObjShape] = None
+    arg_shapes: list = field(default_factory=list)
+    n_sites: int = 0
+    uses_mpi: bool = False
+    uses_gpu: bool = False
+
+    def device_specs(self):
+        return [s for s in self.specializations if s.device]
+
+    def host_specs(self):
+        return [s for s in self.specializations if not s.device]

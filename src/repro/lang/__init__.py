@@ -1,0 +1,75 @@
+"""The guest language: a restricted, statically-typed subset of Python.
+
+This package plays the role Java plays in the paper: application and library
+authors write ordinary Python classes decorated with :func:`@wootin
+<repro.lang.annotations.wootin>`, annotate method signatures with the type
+objects defined in :mod:`repro.lang.types`, and follow the WootinJ coding
+rules (checked by :mod:`repro.frontend.rules`).  Code written this way runs
+directly under CPython (the paper's "Java on the JVM" configuration) *and*
+can be JIT-translated to C by :mod:`repro.jit`.
+"""
+
+from repro.lang.types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    VOID,
+    Array,
+    ArrayType,
+    ClassInfo,
+    ClassType,
+    PrimType,
+    Type,
+    boolean,
+    f32,
+    f64,
+    i32,
+    i64,
+    resolve_annotation,
+    wootin_info,
+)
+from repro.lang.annotations import (
+    device_fn,
+    foreign,
+    global_kernel,
+    is_device_fn,
+    is_global_kernel,
+    shared,
+    wootin,
+)
+from repro.lang.intrinsics import IntrinsicSpec, intrinsic_registry, wj, wjmath
+
+__all__ = [
+    "Array",
+    "ArrayType",
+    "BOOL",
+    "ClassInfo",
+    "ClassType",
+    "F32",
+    "F64",
+    "I32",
+    "I64",
+    "IntrinsicSpec",
+    "PrimType",
+    "Type",
+    "VOID",
+    "boolean",
+    "device_fn",
+    "f32",
+    "f64",
+    "foreign",
+    "global_kernel",
+    "i32",
+    "i64",
+    "intrinsic_registry",
+    "is_device_fn",
+    "is_global_kernel",
+    "resolve_annotation",
+    "shared",
+    "wj",
+    "wjmath",
+    "wootin",
+    "wootin_info",
+]

@@ -1,0 +1,170 @@
+"""Decorators and annotation markers for guest code.
+
+These correspond to the paper's Java annotations:
+
+=====================  =====================================================
+Paper (Java)           Here (guest Python)
+=====================  =====================================================
+``@WootinJ`` on class  ``@wootin`` on class
+``@Global`` on method  ``@global_kernel`` on method (CUDA ``__global__``)
+(implicit)             ``@device_fn`` on method (CUDA ``__device__``; also
+                       inferred automatically for methods called from a
+                       global kernel)
+``@Shared`` on field   ``x: shared(Array(f32))`` class-level annotation
+FFI mechanism          ``@foreign(...)`` on a module-level function
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.lang import types as _t
+
+__all__ = [
+    "wootin",
+    "global_kernel",
+    "device_fn",
+    "shared",
+    "Shared",
+    "foreign",
+    "ForeignFunction",
+    "is_global_kernel",
+    "is_device_fn",
+]
+
+
+def wootin(pycls: type) -> type:
+    """Class decorator marking guest code subject to the coding rules.
+
+    Registers the class (and its field annotations and methods) with the
+    framework; the class itself is returned unchanged and remains a perfectly
+    ordinary Python class, so programs built on the library run directly
+    under CPython — the paper's "runs without WootinJ" property (§4.4).
+    """
+    info = _t.register_wootin_class(pycls)
+    pycls.__wootin__ = info
+    return pycls
+
+
+def global_kernel(func):
+    """Mark a method as a CUDA *global* function (paper's ``@Global``).
+
+    A call to a ``@global_kernel`` method is translated into a kernel launch:
+    the first positional argument must be a
+    :class:`~repro.cuda.dim.CudaConfig` giving the grid/block shape.
+
+    Under direct CPython execution the returned wrapper performs the launch
+    on the simulated device (iterating the whole grid), so libraries behave
+    identically whether or not they are translated — the paper's "can run
+    without WootinJ" property.
+    """
+    import functools
+
+    @functools.wraps(func)
+    def launcher(self, config, *args):
+        from repro import rt
+        from repro.cuda.device import default_device
+
+        device = rt.current.cuda_device or default_device()
+        return device.launch(launcher, self, config, args)
+
+    launcher.__wj_global__ = True
+    launcher.__wj_kernel_impl__ = func
+    return launcher
+
+
+def device_fn(func):
+    """Explicitly mark a method as a CUDA *device* function.
+
+    Marking is optional — the translator adds ``__device__`` automatically to
+    any method reachable from a global kernel, exactly as the paper describes
+    — but the explicit form documents intent and is checked.
+    """
+    func.__wj_device__ = True
+    return func
+
+
+def is_global_kernel(func) -> bool:
+    """Whether a guest method was marked @global_kernel."""
+    return bool(getattr(func, "__wj_global__", False))
+
+
+def is_device_fn(func) -> bool:
+    """Whether a guest method was explicitly marked @device_fn."""
+    return bool(getattr(func, "__wj_device__", False))
+
+
+class Shared:
+    """Annotation wrapper: the field is CUDA ``__shared__`` memory."""
+
+    def __init__(self, inner: _t.Type):
+        if not isinstance(inner, _t.ArrayType):
+            raise LoweringError("shared(...) applies to array types only")
+        self.inner = inner
+
+    def __repr__(self) -> str:
+        return f"shared({self.inner!r})"
+
+
+def shared(inner) -> Shared:
+    """Annotation helper — ``buf: shared(Array(f32))``."""
+    if not isinstance(inner, _t.Type):
+        inner = _t.resolve_annotation(inner)
+    return Shared(inner)
+
+
+class ForeignFunction:
+    """A guest-callable foreign (C) function — the paper's FFI mechanism.
+
+    The decorated Python function supplies both the *interpreted*
+    implementation (used when the library runs directly under CPython or
+    with the Python backend) and the signature; ``cname`` / ``csource`` /
+    ``includes`` tell the C backend how to call or define the native
+    implementation.
+    """
+
+    def __init__(self, func, cname: str, csource: str, includes: tuple[str, ...]):
+        self.func = func
+        self.name = func.__name__
+        self.cname = cname or func.__name__
+        self.csource = csource
+        self.includes = tuple(includes)
+        hints = dict(getattr(func, "__annotations__", {}))
+        ret_ann = hints.pop("return", None)
+        self.param_types = [
+            _t.resolve_annotation(a, owner=func) for a in hints.values()
+        ]
+        self.param_names = list(hints.keys())
+        self.ret_type = (
+            _t.resolve_annotation(ret_ann, owner=func) if ret_ann is not None else _t.VOID
+        )
+        for ty in [*self.param_types, self.ret_type]:
+            if not (isinstance(ty, (_t.PrimType, _t.ArrayType)) or ty is _t.VOID):
+                raise LoweringError(
+                    f"foreign function {self.name}: only primitive and array "
+                    f"types may cross the FFI boundary (got {ty!r})"
+                )
+
+    def __call__(self, *args):
+        return self.func(*args)
+
+    def __repr__(self) -> str:
+        return f"<foreign {self.name} -> C {self.cname}>"
+
+
+def foreign(cname: str = "", *, csource: str = "", includes: tuple[str, ...] = ()):
+    """Register a module-level function as a direct C call (paper §3, FFI).
+
+    ``csource`` may carry a C definition to embed in the generated
+    translation unit; if omitted, ``cname`` must name a function available to
+    the C compiler via ``includes`` (e.g. ``sqrtf`` from ``<math.h>``).
+    """
+
+    def deco(func):
+        ff = ForeignFunction(func, cname, csource, includes)
+        from repro.lang.intrinsics import intrinsic_registry
+
+        intrinsic_registry.register_foreign(ff)
+        return ff
+
+    return deco

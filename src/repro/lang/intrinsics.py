@@ -1,0 +1,169 @@
+"""Intrinsic call registry.
+
+The paper's translator recognizes certain Java calls — ``MPI.rank()``,
+``CUDA`` utility methods, the FFI mechanism — and translates them into direct
+C calls with *no wrapper overhead* (§3, "Multiplatform").  We reproduce that
+with an identity-keyed registry: the lowering pass evaluates the root of an
+attribute chain (``MPI``, ``cuda``, ``wjmath``, a ``@foreign`` function, ...)
+against the guest function's globals and asks this registry whether the call
+is intrinsic.  Each backend then emits its own native form for the intrinsic
+key, while interpreted execution uses the registered Python implementation.
+"""
+
+from __future__ import annotations
+
+import math as _pymath
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.lang import types as _t
+
+__all__ = ["IntrinsicSpec", "IntrinsicRegistry", "intrinsic_registry", "wj", "wjmath"]
+
+
+@dataclass(frozen=True)
+class IntrinsicSpec:
+    """One intrinsic operation.
+
+    ``ret`` is either a :class:`~repro.lang.types.Type` or a callable mapping
+    the argument types to the result type.  ``pyimpl`` is the implementation
+    used by interpreted execution and by the Python backend.  ``foreign``
+    carries FFI metadata for ``@foreign`` functions.
+    """
+
+    key: str
+    ret: object  # Type | Callable[[Sequence[Type]], Type]
+    pyimpl: Optional[Callable] = None
+    foreign: object = None
+    # Number of leading arguments that must be compile-time constants
+    # (e.g. the dtype argument of wj.zeros, the label of wj.output).
+    const_head: int = 0
+
+    def ret_type(self, arg_types: Sequence[_t.Type]) -> _t.Type:
+        if isinstance(self.ret, _t.Type):
+            return self.ret
+        return self.ret(arg_types)
+
+
+class IntrinsicRegistry:
+    """Maps (root object identity, attribute path) to intrinsic specs."""
+
+    def __init__(self):
+        self._by_root: dict[int, dict[tuple[str, ...], IntrinsicSpec]] = {}
+        self._roots: dict[int, object] = {}  # keep roots alive
+
+    def register(self, root: object, path: tuple[str, ...], spec: IntrinsicSpec) -> None:
+        self._by_root.setdefault(id(root), {})[path] = spec
+        self._roots[id(root)] = root
+
+    def register_foreign(self, ff) -> None:
+        spec = IntrinsicSpec(
+            key=f"ffi.{ff.cname}", ret=ff.ret_type, pyimpl=ff.func, foreign=ff
+        )
+        self.register(ff, (), spec)
+
+    def lookup(self, root: object, path: tuple[str, ...]) -> IntrinsicSpec | None:
+        table = self._by_root.get(id(root))
+        if table is None:
+            return None
+        return table.get(path)
+
+    def is_intrinsic_root(self, root: object) -> bool:
+        return id(root) in self._by_root
+
+
+intrinsic_registry = IntrinsicRegistry()
+
+
+# --------------------------------------------------------------------------
+# wjmath — math intrinsics.  All take/return f64, like C's <math.h> doubles;
+# the stdlib ``math`` module is registered as an alias root so guest code may
+# equally write ``math.sqrt(x)``.
+# --------------------------------------------------------------------------
+
+class _WjMath:
+    """Math intrinsics namespace (interpreted implementations)."""
+
+    sqrt = staticmethod(_pymath.sqrt)
+    exp = staticmethod(_pymath.exp)
+    log = staticmethod(_pymath.log)
+    sin = staticmethod(_pymath.sin)
+    cos = staticmethod(_pymath.cos)
+    tanh = staticmethod(_pymath.tanh)
+    fabs = staticmethod(_pymath.fabs)
+    floor = staticmethod(_pymath.floor)
+    ceil = staticmethod(_pymath.ceil)
+    fmod = staticmethod(_pymath.fmod)
+    pow = staticmethod(_pymath.pow)
+
+
+wjmath = _WjMath()
+
+_MATH_NAMES = (
+    "sqrt", "exp", "log", "sin", "cos", "tanh", "fabs", "floor", "ceil",
+    "fmod", "pow",
+)
+
+for _name in _MATH_NAMES:
+    _spec = IntrinsicSpec(
+        key=f"math.{_name}", ret=_t.F64, pyimpl=getattr(_pymath, _name)
+    )
+    intrinsic_registry.register(wjmath, (_name,), _spec)
+    intrinsic_registry.register(_pymath, (_name,), _spec)
+
+
+# --------------------------------------------------------------------------
+# wj — framework utilities available inside translated code.
+# --------------------------------------------------------------------------
+
+class _Wj:
+    """Framework utility namespace.
+
+    * ``wj.zeros(elem_type, n)`` — allocate a zero-initialized array (C:
+      ``calloc``; Python: ``numpy.zeros``).
+    * ``wj.free(arr)`` — explicit deallocation; the paper provides ``free``
+      because translated code has no garbage collector.  A no-op under
+      interpretation.
+    * ``wj.output(label, arr)`` — copy an array's current contents out of the
+      translated memory space under a label.  This is our explicit stand-in
+      for the result I/O the paper leaves to the library (translated code's
+      mutations are never copied back automatically, §3.1).
+    """
+
+    @staticmethod
+    def zeros(elem, n):
+        import numpy as np
+
+        return np.zeros(int(n), dtype=elem.np_dtype)
+
+    @staticmethod
+    def free(arr):
+        return None
+
+    @staticmethod
+    def output(label, arr):
+        from repro import rt
+
+        rt.current.record_output(label, arr)
+
+
+wj = _Wj()
+
+
+def _zeros_ret(arg_types: Sequence[_t.Type]) -> _t.Type:
+    # The element-type argument is a compile-time constant; lowering passes
+    # its PrimType through as the first "type" entry.
+    elem = arg_types[0]
+    assert isinstance(elem, _t.PrimType)
+    return _t.ArrayType(elem)
+
+
+intrinsic_registry.register(
+    wj, ("zeros",), IntrinsicSpec(key="wj.zeros", ret=_zeros_ret, pyimpl=wj.zeros, const_head=1)
+)
+intrinsic_registry.register(
+    wj, ("free",), IntrinsicSpec(key="wj.free", ret=_t.VOID, pyimpl=wj.free)
+)
+intrinsic_registry.register(
+    wj, ("output",), IntrinsicSpec(key="wj.output", ret=_t.VOID, pyimpl=wj.output, const_head=1)
+)

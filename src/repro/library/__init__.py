@@ -1,0 +1,15 @@
+"""The paper's two class libraries, built on the framework.
+
+* :mod:`repro.library.stencil` — the stencil-computation library of §2/§4.1
+  (feature model of Fig. 1, class structure of Fig. 2): physical quantities,
+  double-buffered grids with indexers, solvers, and runners for
+  CPU / CPU+MPI / GPU / GPU+MPI.
+* :mod:`repro.library.matmul` — the matrix-multiplication library of §4.2
+  (Fig. 8): Matrix / Thread / ThreadBody components, including the
+  mutually-referential MPIThread ⇄ FoxAlgorithm pair of Listing 6 that C++
+  templates cannot compose.
+
+Both are plain guest-Python class libraries: they run unmodified under
+CPython (the paper's "Java on the JVM" configuration) and JIT-translate to
+C through ``repro.jit``.
+"""

@@ -1,0 +1,61 @@
+"""Matrix-multiplication class library (paper §4.2, Fig. 8).
+
+Three component kinds compose an application:
+
+* **Matrix** — the data structure (:class:`SimpleMatrix`: dense row-major);
+* **Thread** (``OuterThread``) — how the computation runs in parallel:
+  :class:`CPULoop` (sequential), :class:`MPIThread` (multi-node),
+  :class:`GPUThread` (device kernels);
+* **ThreadBody** (``OuterThreadBody``) — the parallel algorithm:
+  :class:`SimpleOuterBody` (local multiply) or :class:`FoxAlgorithm`
+  (the q×q block algorithm on MPI).
+
+``MPIThread`` holds an ``OuterThreadBody`` and the body's ``run`` receives
+the thread back — the mutually-referential composition of the paper's
+Listing 6 that defeats C++ template devirtualization but that WootinJ-style
+shape analysis resolves without trouble.
+
+Inner multiplication kernels are their own components (``InnerBody``):
+:class:`SimpleCalculator` (ijk), :class:`OptimizedCalculator` (ikj),
+:class:`GpuCalculator` (one thread per element), and
+:class:`TiledGpuCalculator` (shared-memory tiles + ``sync_threads`` — runs
+on the Python simulated device, which implements barriers).
+"""
+
+from repro.library.matmul.calculator import (
+    BlockedCalculator,
+    GpuCalculator,
+    InnerBody,
+    OptimizedCalculator,
+    SimpleCalculator,
+    TiledGpuCalculator,
+)
+from repro.library.matmul.matrix import Matrix, SimpleMatrix, make_matrix
+from repro.library.matmul.threads import (
+    CPULoop,
+    FoxAlgorithm,
+    GPUThread,
+    MPIThread,
+    OuterThread,
+    OuterThreadBody,
+    SimpleOuterBody,
+)
+
+__all__ = [
+    "BlockedCalculator",
+    "CPULoop",
+    "FoxAlgorithm",
+    "GPUThread",
+    "GpuCalculator",
+    "InnerBody",
+    "MPIThread",
+    "Matrix",
+    "OptimizedCalculator",
+    "OuterThread",
+    "OuterThreadBody",
+    "SimpleCalculator",
+    "SimpleMatrix",
+    "SimpleOuterBody",
+    "TiledGpuCalculator",
+    "make_matrix",
+]

@@ -1,0 +1,85 @@
+"""Matrix components (the ``Matrix`` interface of Fig. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang import Array, f64, i64, wootin
+
+
+@wootin
+class Matrix:
+    """Interface: a square matrix of f64 (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def get(self, i: i64, j: i64) -> f64:
+        return 0.0
+
+    def put(self, i: i64, j: i64, v: f64) -> None:
+        pass
+
+    def size(self) -> i64:
+        return 0
+
+    def raw(self) -> Array(f64):
+        pass
+
+
+@wootin
+class SimpleMatrix(Matrix):
+    """Dense row-major n×n matrix over a flat array."""
+
+    data: Array(f64)
+    n: i64
+
+    def __init__(self, data: Array(f64), n: i64):
+        super().__init__()
+        self.data = data
+        self.n = n
+
+    def get(self, i: i64, j: i64) -> f64:
+        return self.data[i * self.n + j]
+
+    def put(self, i: i64, j: i64, v: f64) -> None:
+        self.data[i * self.n + j] = v
+
+    def size(self) -> i64:
+        return self.n
+
+    def raw(self) -> Array(f64):
+        return self.data
+
+    def value_at(self, gi: i64, gj: i64, ng: i64, seed: i64) -> f64:
+        """Deterministic global-matrix entry: a pure function of the global
+        coordinates, so distributed blocks agree with a sequentially-built
+        reference.  All intermediates fit in i64 (see fill_seeded)."""
+        state = ((gi * ng + gj + 1) * (seed + 7)) % 2147483648
+        state = (state * 1103515245 + 12345) % 2147483648
+        return float(state) / 2147483648.0 - 0.5
+
+    def fill_block(self, row0: i64, col0: i64, ng: i64, seed: i64) -> None:
+        """Fill this local block with the (row0.., col0..) window of the
+        seeded global matrix (used by per-rank generation)."""
+        for i in range(self.n):
+            for j in range(self.n):
+                self.data[i * self.n + j] = self.value_at(
+                    row0 + i, col0 + j, ng, seed
+                )
+
+    def fill_seeded(self, seed: i64) -> None:
+        """Deterministic pseudo-random contents (31-bit LCG: all
+        intermediates fit in i64, so translated C and Python agree
+        bit-for-bit — data is generated inside the translated memory space,
+        like the paper's Generator components)."""
+        state = (seed * 1103515245 + 12345) % 2147483648
+        nn = self.n * self.n
+        for i in range(nn):
+            state = (state * 1103515245 + 12345) % 2147483648
+            self.data[i] = float(state) / 2147483648.0 - 0.5
+
+
+def make_matrix(n: int, zero: bool = True) -> SimpleMatrix:
+    """Host-side constructor: an n×n matrix over fresh zeroed storage."""
+    return SimpleMatrix(np.zeros(n * n, dtype=np.float64), n)

@@ -1,0 +1,233 @@
+"""Outer threads and thread bodies (Fig. 8's ``Thread`` / ``ThreadBody``).
+
+This module contains the paper's Listing 6 pair: :class:`MPIThread` holds an
+:class:`OuterThreadBody`, whose ``run`` receives the thread back and calls
+``thread.calculator()`` on it — a mutually-referential composition.  The
+paper shows C++ templates cannot express this without abandoning reuse
+("we abandoned code reuse and wrote classes specialized for a specific
+combination"); WootinJ-style shape analysis devirtualizes both directions of
+the cycle without special-casing, and so does this reproduction (tested in
+``tests/test_matmul.py``).
+
+Entry points are the ``start(a, b, c)`` methods: they run the composed
+algorithm, publish ``c`` under the label ``"c"``, and return the (allreduced
+where applicable) sum of ``c`` as a checksum.
+"""
+
+from __future__ import annotations
+
+from repro.lang import f64, i64, wj, wootin
+from repro.library.matmul.calculator import InnerBody
+from repro.library.matmul.matrix import Matrix, SimpleMatrix
+from repro.mpi import MPI
+
+
+@wootin
+class OuterThread:
+    """Interface: how the outer computation runs (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def calculator(self) -> InnerBody:
+        pass
+
+
+@wootin
+class OuterThreadBody:
+    """Interface: the parallel algorithm (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def run(self, thread: OuterThread, a: Matrix, b: Matrix, c: Matrix) -> None:
+        pass
+
+
+@wootin
+class SimpleOuterBody(OuterThreadBody):
+    """Local multiply: delegate straight to the thread's inner kernel."""
+
+    def __init__(self):
+        super().__init__()
+
+    def run(self, thread: OuterThread, a: Matrix, b: Matrix, c: Matrix) -> None:
+        thread.calculator().multiply_add(a, b, c)
+
+
+@wootin
+class FoxAlgorithm(OuterThreadBody):
+    """Fox's algorithm on a q×q rank grid (q = sqrt(world size)).
+
+    Per stage: the diagonal-shifted column broadcasts its A block along the
+    row, every rank multiplies it into C against its current B block through
+    the thread's inner kernel, then B blocks roll upward along columns.
+    Local blocks are m×m; the global matrix is (q·m)×(q·m).
+    """
+
+    def __init__(self):
+        super().__init__()
+
+    def isqrt(self, p: i64) -> i64:
+        q = 1
+        while (q + 1) * (q + 1) <= p:
+            q = q + 1
+        return q
+
+    def run(self, thread: OuterThread, a: Matrix, b: Matrix, c: Matrix) -> None:
+        p = MPI.size()
+        rank = MPI.rank()
+        q = self.isqrt(p)
+        row = rank // q
+        col = rank % q
+        m = a.size()
+        mm = m * m
+        at = wj.zeros(f64, mm)
+        brecv = wj.zeros(f64, mm)
+        for stage in range(q):
+            kbar = (row + stage) % q
+            root = row * q + kbar
+            if rank == root:
+                araw = a.raw()
+                for i in range(mm):
+                    at[i] = araw[i]
+                for peer_col in range(q):
+                    dst = row * q + peer_col
+                    if dst != rank:
+                        MPI.send(at, dst, 100 + stage)
+            else:
+                MPI.recv(at, root, 100 + stage)
+            thread.calculator().multiply_add(SimpleMatrix(at, m), b, c)
+            if q > 1:
+                up = ((row - 1) % q) * q + col
+                down = ((row + 1) % q) * q + col
+                MPI.sendrecv(b.raw(), up, brecv, down, 200 + stage)
+                braw = b.raw()
+                for i in range(mm):
+                    braw[i] = brecv[i]
+        wj.free(at)
+        wj.free(brecv)
+
+
+@wootin
+class CPULoop(OuterThread):
+    """Sequential outer thread."""
+
+    body: OuterThreadBody
+    inner: InnerBody
+
+    def __init__(self, body: OuterThreadBody, inner: InnerBody):
+        super().__init__()
+        self.body = body
+        self.inner = inner
+
+    def calculator(self) -> InnerBody:
+        return self.inner
+
+    def start(self, a: Matrix, b: Matrix, c: Matrix) -> f64:
+        MPI.barrier()
+        t0 = MPI.wtime()
+        self.body.run(self, a, b, c)
+        t1 = MPI.wtime()
+        tbuf = wj.zeros(f64, 1)
+        tbuf[0] = t1 - t0
+        wj.output("secs", tbuf)
+        n = c.size()
+        total = 0.0
+        craw = c.raw()
+        nn = n * n
+        for i in range(nn):
+            total = total + craw[i]
+        wj.output("c", craw)
+        return total
+
+
+@wootin
+class MPIThread(OuterThread):
+    """Multi-node outer thread (Listing 6's MPIThread).
+
+    Each rank generates its own A/B blocks in place from its grid position,
+    so one translated program serves every rank — the paper's Generator
+    pattern."""
+
+    body: OuterThreadBody
+    inner: InnerBody
+
+    def __init__(self, body: OuterThreadBody, inner: InnerBody):
+        super().__init__()
+        self.body = body
+        self.inner = inner
+
+    def calculator(self) -> InnerBody:
+        return self.inner
+
+    def start(self, a: Matrix, b: Matrix, c: Matrix) -> f64:
+        MPI.barrier()
+        t0 = MPI.wtime()
+        self.body.run(self, a, b, c)
+        t1 = MPI.wtime()
+        tbuf = wj.zeros(f64, 1)
+        tbuf[0] = t1 - t0
+        wj.output("secs", tbuf)
+        n = c.size()
+        total = 0.0
+        craw = c.raw()
+        nn = n * n
+        for i in range(nn):
+            total = total + craw[i]
+        total = MPI.allreduce_sum(total)
+        wj.output("c", craw)
+        return total
+
+    def isqrt(self, p: i64) -> i64:
+        q = 1
+        while (q + 1) * (q + 1) <= p:
+            q = q + 1
+        return q
+
+    def start_generated(self, a: Matrix, b: Matrix, c: Matrix) -> f64:
+        """Like ``start`` but fills A and B per rank first: this rank's
+        (row, col) block of the globally-seeded matrices."""
+        rank = MPI.rank()
+        q = self.isqrt(MPI.size())
+        m = a.size()
+        row = rank // q
+        col = rank % q
+        ng = q * m
+        a.fill_block(row * m, col * m, ng, 1)
+        b.fill_block(row * m, col * m, ng, 2)
+        return self.start(a, b, c)
+
+
+@wootin
+class GPUThread(OuterThread):
+    """GPU outer thread: same composition surface, device inner kernels."""
+
+    body: OuterThreadBody
+    inner: InnerBody
+
+    def __init__(self, body: OuterThreadBody, inner: InnerBody):
+        super().__init__()
+        self.body = body
+        self.inner = inner
+
+    def calculator(self) -> InnerBody:
+        return self.inner
+
+    def start(self, a: Matrix, b: Matrix, c: Matrix) -> f64:
+        MPI.barrier()
+        t0 = MPI.wtime()
+        self.body.run(self, a, b, c)
+        t1 = MPI.wtime()
+        tbuf = wj.zeros(f64, 1)
+        tbuf[0] = t1 - t0
+        wj.output("secs", tbuf)
+        n = c.size()
+        total = 0.0
+        craw = c.raw()
+        nn = n * n
+        for i in range(nn):
+            total = total + craw[i]
+        total = MPI.allreduce_sum(total)
+        wj.output("c", craw)
+        return total

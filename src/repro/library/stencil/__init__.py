@@ -1,0 +1,83 @@
+"""Stencil-computation class library (paper §2, Figs. 1-2, §4.1).
+
+Feature model realized (Fig. 1):
+
+* **Dimension** — :class:`~repro.library.stencil.solver.OneDSolver` /
+  :class:`~repro.library.stencil.solver.ThreeDSolver` hierarchies with the
+  corresponding indexers;
+* **Physical model** — :mod:`~repro.library.stencil.physq` quantities
+  (:class:`ScalarFloat`, :class:`ScalarDouble`) wrapped around every grid
+  value, exactly the object-per-cell style of the paper's Listing 1 whose
+  cost WootinJ optimizes away;
+* **Buffering** — :class:`~repro.library.stencil.grid.FloatGridDblB` /
+  :class:`DoubleGridDblB` double buffers with swap-by-field-mutation;
+* **Parallelism** — :mod:`~repro.library.stencil.runner` runners:
+  sequential CPU, CPU+MPI (z-decomposition with halo exchange), GPU, and
+  GPU+MPI (device-resident data with plane pack/unpack kernels).
+"""
+
+from repro.library.stencil.config import SimulationConfig
+from repro.library.stencil.dim2 import (
+    Dif2DSolver,
+    JacobiResidual2D,
+    Sine2DGen,
+    StencilCPU2D,
+    StencilCPU2D_MPI,
+    TwoDIndexer,
+    TwoDSolver,
+)
+from repro.library.stencil.generator import Generator, PointSourceGen, SineGen
+from repro.library.stencil.grid import (
+    DoubleGridDblB,
+    FloatGridDblB,
+    OneDIndexer,
+    ThreeDIndexer,
+)
+from repro.library.stencil.physq import EmptyContext, ScalarDouble, ScalarFloat
+from repro.library.stencil.runner import (
+    StencilCPU1D,
+    StencilCPU3D,
+    StencilCPU3D_MPI,
+    StencilGPU3D,
+    StencilGPU3D_MPI,
+    StencilRunner,
+)
+from repro.library.stencil.solver import (
+    Dif1DSolver,
+    Dif3DSolver,
+    OneDSolver,
+    StencilSolver,
+    ThreeDSolver,
+)
+
+__all__ = [
+    "Dif1DSolver",
+    "Dif2DSolver",
+    "Dif3DSolver",
+    "JacobiResidual2D",
+    "Sine2DGen",
+    "StencilCPU2D",
+    "StencilCPU2D_MPI",
+    "TwoDIndexer",
+    "TwoDSolver",
+    "DoubleGridDblB",
+    "EmptyContext",
+    "FloatGridDblB",
+    "Generator",
+    "OneDIndexer",
+    "OneDSolver",
+    "PointSourceGen",
+    "ScalarDouble",
+    "ScalarFloat",
+    "SimulationConfig",
+    "SineGen",
+    "StencilCPU1D",
+    "StencilCPU3D",
+    "StencilCPU3D_MPI",
+    "StencilGPU3D",
+    "StencilGPU3D_MPI",
+    "StencilRunner",
+    "StencilSolver",
+    "ThreeDIndexer",
+    "ThreeDSolver",
+]

@@ -1,0 +1,278 @@
+"""Two-dimensional stencil support — completing the Dimension feature of
+the paper's Fig. 1 (1D / 2D / 3D).
+
+Same architecture as the 3-D pieces: an indexer carrying literal strides, a
+5-point solver over boxed quantities, sequential and MPI runners (row-slab
+decomposition, row halo exchange).
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f32, f64, i64, wj, wjmath, wootin
+from repro.library.stencil.generator import Generator
+from repro.library.stencil.grid import FloatGridDblB
+from repro.library.stencil.physq import EmptyContext, ScalarFloat
+from repro.library.stencil.solver import StencilSolver
+from repro.mpi import MPI
+
+__all__ = [
+    "Dif2DSolver",
+    "JacobiResidual2D",
+    "Sine2DGen",
+    "StencilCPU2D",
+    "StencilCPU2D_MPI",
+    "TwoDIndexer",
+    "TwoDSolver",
+]
+
+
+@wootin
+class TwoDIndexer:
+    """Row-major layout ``i = x + nx*y``; ``ny`` includes the two halo rows."""
+
+    nx: i64
+    ny: i64
+
+    def __init__(self, nx: i64, ny: i64):
+        self.nx = nx
+        self.ny = ny
+
+    def index(self, x: i64, y: i64) -> i64:
+        return x + self.nx * y
+
+    def row(self) -> i64:
+        return self.nx
+
+    def size(self) -> i64:
+        return self.nx * self.ny
+
+
+@wootin
+class TwoDSolver(StencilSolver):
+    """Solvers over 5-point 2-D stencils (abstract)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def solve(
+        self,
+        c: ScalarFloat,
+        xm: ScalarFloat,
+        xp: ScalarFloat,
+        ym: ScalarFloat,
+        yp: ScalarFloat,
+        context: EmptyContext,
+    ) -> ScalarFloat:
+        return c
+
+
+@wootin
+class Dif2DSolver(TwoDSolver):
+    """2-D diffusion, explicit Euler: ``u' = cc*u + cw*(x-+x+) + ch*(y-+y+)``."""
+
+    cc: f32
+    cw: f32
+    ch: f32
+
+    def __init__(self, cc: f32, cw: f32, ch: f32):
+        super().__init__()
+        self.cc = cc
+        self.cw = cw
+        self.ch = ch
+
+    def solve(
+        self,
+        c: ScalarFloat,
+        xm: ScalarFloat,
+        xp: ScalarFloat,
+        ym: ScalarFloat,
+        yp: ScalarFloat,
+        context: EmptyContext,
+    ) -> ScalarFloat:
+        value = (
+            self.cc * c.val()
+            + self.cw * (xm.val() + xp.val())
+            + self.ch * (ym.val() + yp.val())
+        )
+        return ScalarFloat(value)
+
+
+@wootin
+class Sine2DGen(Generator):
+    """Product-of-sines field over the global 2-D domain, per-rank slab."""
+
+    nx: i64
+    nyl: i64
+    nranks: i64
+
+    def __init__(self, nx: i64, nyl: i64, nranks: i64):
+        super().__init__()
+        self.nx = nx
+        self.nyl = nyl
+        self.nranks = nranks
+
+    def fill(self, arr: Array(f32), rank: i64) -> None:
+        pi = 3.141592653589793
+        ny_glob = self.nyl * self.nranks
+        gy0 = rank * self.nyl
+        for y in range(self.nyl + 2):
+            gy = gy0 + y - 1
+            for x in range(self.nx):
+                v = wjmath.sin(pi * (x + 1.0) / (self.nx + 1.0)) * wjmath.sin(
+                    pi * (gy + 1.0) / (ny_glob + 1.0)
+                )
+                arr[x + self.nx * y] = f32(v)
+
+
+@wootin
+class StencilCPU2D:
+    """Sequential 2-D runner with double buffering."""
+
+    solver: TwoDSolver
+    grid: FloatGridDblB
+    idx: TwoDIndexer
+    gen: Generator
+    ctx: EmptyContext
+
+    def __init__(
+        self,
+        solver: TwoDSolver,
+        grid: FloatGridDblB,
+        idx: TwoDIndexer,
+        gen: Generator,
+        ctx: EmptyContext,
+    ):
+        self.solver = solver
+        self.grid = grid
+        self.idx = idx
+        self.gen = gen
+        self.ctx = ctx
+
+    def compute(self) -> None:
+        src = self.grid.front
+        dst = self.grid.back
+        nx = self.idx.nx
+        ny = self.idx.ny
+        for y in range(1, ny - 1):
+            for x in range(1, nx - 1):
+                i = self.idx.index(x, y)
+                c = ScalarFloat(src[i])
+                xm = ScalarFloat(src[i - 1])
+                xp = ScalarFloat(src[i + 1])
+                ym = ScalarFloat(src[i - nx])
+                yp = ScalarFloat(src[i + nx])
+                r = self.solver.solve(c, xm, xp, ym, yp, self.ctx)
+                dst[i] = r.val()
+
+    def interior_sum(self, arr: Array(f32)) -> f64:
+        total = 0.0
+        nx = self.idx.nx
+        ny = self.idx.ny
+        for y in range(1, ny - 1):
+            for x in range(1, nx - 1):
+                total = total + arr[self.idx.index(x, y)]
+        return total
+
+    def run(self, steps: i64) -> f64:
+        self.gen.fill(self.grid.front, 0)
+        self.gen.fill(self.grid.back, 0)
+        for s in range(steps):
+            self.compute()
+            self.grid.swap()
+        total = self.interior_sum(self.grid.front)
+        wj.output("grid", self.grid.front)
+        return total
+
+
+@wootin
+class StencilCPU2D_MPI(StencilCPU2D):
+    """Multi-node 2-D runner: row-slab decomposition, row halo exchange."""
+
+    def __init__(
+        self,
+        solver: TwoDSolver,
+        grid: FloatGridDblB,
+        idx: TwoDIndexer,
+        gen: Generator,
+        ctx: EmptyContext,
+    ):
+        super().__init__(solver, grid, idx, gen, ctx)
+
+    def exchange(self) -> None:
+        rank = MPI.rank()
+        size = MPI.size()
+        row = self.idx.row()
+        ny = self.idx.ny
+        front = self.grid.front
+        if size > 1:
+            if rank < size - 1:
+                MPI.send_part(front, (ny - 2) * row, row, rank + 1, 1)
+            if rank > 0:
+                MPI.recv_part(front, 0, row, rank - 1, 1)
+            if rank > 0:
+                MPI.send_part(front, row, row, rank - 1, 2)
+            if rank < size - 1:
+                MPI.recv_part(front, (ny - 1) * row, row, rank + 1, 2)
+
+    def run(self, steps: i64) -> f64:
+        rank = MPI.rank()
+        self.gen.fill(self.grid.front, rank)
+        self.gen.fill(self.grid.back, rank)
+        for s in range(steps):
+            self.exchange()
+            self.compute()
+            self.grid.swap()
+        local = self.interior_sum(self.grid.front)
+        total = MPI.allreduce_sum(local)
+        wj.output("grid", self.grid.front)
+        return total
+
+
+@wootin
+class JacobiResidual2D(StencilCPU2D_MPI):
+    """Iterate until the global step-to-step residual falls below a bound —
+    a convergence-driven runner (translated while-loop + allreduce), the
+    kind of 'larger class library' the paper's §6 plans."""
+
+    def __init__(
+        self,
+        solver: TwoDSolver,
+        grid: FloatGridDblB,
+        idx: TwoDIndexer,
+        gen: Generator,
+        ctx: EmptyContext,
+    ):
+        super().__init__(solver, grid, idx, gen, ctx)
+
+    def local_residual(self) -> f64:
+        total = 0.0
+        front = self.grid.front
+        back = self.grid.back
+        nx = self.idx.nx
+        ny = self.idx.ny
+        for y in range(1, ny - 1):
+            for x in range(1, nx - 1):
+                i = self.idx.index(x, y)
+                d = float(front[i]) - float(back[i])
+                total = total + d * d
+        return total
+
+    def run_until(self, eps: f64, max_steps: i64) -> f64:
+        rank = MPI.rank()
+        self.gen.fill(self.grid.front, rank)
+        self.gen.fill(self.grid.back, rank)
+        steps = 0
+        residual = eps + 1.0
+        while residual > eps and steps < max_steps:
+            self.exchange()
+            self.compute()
+            self.grid.swap()
+            local = self.local_residual()
+            residual = MPI.allreduce_sum(local)
+            steps = steps + 1
+        counts = wj.zeros(f64, 2)
+        counts[0] = float(steps)
+        counts[1] = residual
+        wj.output("convergence", counts)
+        wj.output("grid", self.grid.front)
+        return MPI.allreduce_sum(self.interior_sum(self.grid.front))

@@ -1,0 +1,87 @@
+"""Grids and indexers.
+
+Guest arrays are one-dimensional (as in the paper); multi-dimensional data
+is addressed through indexer components, so the memory layout is itself a
+swappable feature.  The double-buffered grids mutate their array-typed
+fields in ``swap`` — the one mutation semi-immutability permits, and the
+reason the paper exempts array fields from constancy (§3.2).
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f32, f64, i64, wootin
+
+
+@wootin
+class OneDIndexer:
+    """Identity layout for 1-D grids."""
+
+    def __init__(self):
+        pass
+
+    def index(self, x: i64) -> i64:
+        return x
+
+
+@wootin
+class ThreeDIndexer:
+    """Row-major x-fastest layout: ``i = x + nx*(y + ny*z)``.
+
+    ``nx``/``ny``/``nz`` are the *allocated* extents including halo/boundary
+    planes.  In translated code these fields are compile-time constants, so
+    the strides fold into the generated index arithmetic — the concrete
+    payoff of object inlining for stencil code.
+    """
+
+    nx: i64
+    ny: i64
+    nz: i64
+
+    def __init__(self, nx: i64, ny: i64, nz: i64):
+        self.nx = nx
+        self.ny = ny
+        self.nz = nz
+
+    def index(self, x: i64, y: i64, z: i64) -> i64:
+        return x + self.nx * (y + self.ny * z)
+
+    def plane(self) -> i64:
+        """Elements in one z-plane (the halo-exchange message size)."""
+        return self.nx * self.ny
+
+    def size(self) -> i64:
+        return self.nx * self.ny * self.nz
+
+
+@wootin
+class FloatGridDblB:
+    """Double-buffered single-precision grid (the paper's FloatGridDblB)."""
+
+    front: Array(f32)
+    back: Array(f32)
+
+    def __init__(self, front: Array(f32), back: Array(f32)):
+        self.front = front
+        self.back = back
+
+    def swap(self) -> None:
+        tmp = self.front
+        self.front = self.back
+        self.back = tmp
+
+
+@wootin
+class DoubleGridDblB:
+    """Double-buffered double-precision grid."""
+
+    front: Array(f64)
+    back: Array(f64)
+
+    def __init__(self, front: Array(f64), back: Array(f64)):
+        self.front = front
+        self.back = back
+
+    def swap(self) -> None:
+        tmp = self.front
+        self.front = self.back
+        self.back = tmp

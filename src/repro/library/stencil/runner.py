@@ -1,0 +1,377 @@
+"""Stencil runners (the paper's ``StencilRunner`` hierarchy, Fig. 2).
+
+A runner implements *how* the kernel sweeps run — sequentially, across MPI
+ranks with halo exchange, on the GPU, or both — while the solver, grid,
+indexer, and generator components are injected.  Selecting a runner subclass
+is the paper's ``Parallelism`` feature selection (Fig. 1).
+
+Decomposition: 1-D in z.  Each rank owns ``nzl`` interior planes plus one
+halo/boundary plane on each side; the indexer's ``nz`` is the *allocated*
+local extent ``nzl + 2``.  Boundary planes hold Dirichlet values written by
+the generator and are never updated.
+
+Every ``run`` method ends by publishing the rank's final front buffer under
+the label ``"grid"`` (``wj.output``) and returning the global interior sum
+(allreduced where MPI is in play) — translated code's mutations are not
+copied back (§3.1), so results leave through these channels.
+"""
+
+from __future__ import annotations
+
+from repro.cuda import CudaConfig, cuda, dim3
+from repro.lang import Array, f32, f64, global_kernel, i64, wj, wootin
+from repro.library.stencil.generator import Generator
+from repro.library.stencil.grid import FloatGridDblB, ThreeDIndexer
+from repro.library.stencil.physq import EmptyContext, ScalarFloat
+from repro.library.stencil.solver import OneDSolver, ThreeDSolver
+from repro.mpi import MPI
+
+
+@wootin
+class StencilRunner:
+    """Root of the runner hierarchy (abstract)."""
+
+    def __init__(self):
+        pass
+
+
+@wootin
+class StencilCPU1D(StencilRunner):
+    """Sequential 1-D runner (pairs with Listing 1's Dif1DSolver)."""
+
+    solver: OneDSolver
+    grid: FloatGridDblB
+    ctx: EmptyContext
+    n: i64
+
+    def __init__(self, solver: OneDSolver, grid: FloatGridDblB, ctx: EmptyContext, n: i64):
+        super().__init__()
+        self.solver = solver
+        self.grid = grid
+        self.ctx = ctx
+        self.n = n
+
+    def step(self) -> None:
+        src = self.grid.front
+        dst = self.grid.back
+        for x in range(1, self.n - 1):
+            left = ScalarFloat(src[x - 1])
+            right = ScalarFloat(src[x + 1])
+            center = ScalarFloat(src[x])
+            r = self.solver.solve(left, right, center, self.ctx)
+            dst[x] = r.val()
+        self.grid.swap()
+
+    def run(self, steps: i64) -> f64:
+        for s in range(steps):
+            self.step()
+        total = 0.0
+        out = self.grid.front
+        for x in range(1, self.n - 1):
+            total = total + out[x]
+        wj.output("grid", out)
+        return total
+
+
+@wootin
+class StencilCPU3D(StencilRunner):
+    """Sequential 3-D runner with double buffering
+    (paper: StencilCPU4DblBuffer)."""
+
+    solver: ThreeDSolver
+    grid: FloatGridDblB
+    idx: ThreeDIndexer
+    gen: Generator
+    ctx: EmptyContext
+
+    def __init__(
+        self,
+        solver: ThreeDSolver,
+        grid: FloatGridDblB,
+        idx: ThreeDIndexer,
+        gen: Generator,
+        ctx: EmptyContext,
+    ):
+        super().__init__()
+        self.solver = solver
+        self.grid = grid
+        self.idx = idx
+        self.gen = gen
+        self.ctx = ctx
+
+    def compute(self) -> None:
+        """One interior sweep: front -> back (the caller swaps)."""
+        src = self.grid.front
+        dst = self.grid.back
+        nx = self.idx.nx
+        ny = self.idx.ny
+        nz = self.idx.nz
+        pl = self.idx.plane()
+        for z in range(1, nz - 1):
+            for y in range(1, ny - 1):
+                for x in range(1, nx - 1):
+                    i = self.idx.index(x, y, z)
+                    c = ScalarFloat(src[i])
+                    xm = ScalarFloat(src[i - 1])
+                    xp = ScalarFloat(src[i + 1])
+                    ym = ScalarFloat(src[i - nx])
+                    yp = ScalarFloat(src[i + nx])
+                    zm = ScalarFloat(src[i - pl])
+                    zp = ScalarFloat(src[i + pl])
+                    r = self.solver.solve(c, xm, xp, ym, yp, zm, zp, self.ctx)
+                    dst[i] = r.val()
+
+    def interior_sum(self, arr: Array(f32)) -> f64:
+        total = 0.0
+        nx = self.idx.nx
+        ny = self.idx.ny
+        nz = self.idx.nz
+        for z in range(1, nz - 1):
+            for y in range(1, ny - 1):
+                for x in range(1, nx - 1):
+                    total = total + arr[self.idx.index(x, y, z)]
+        return total
+
+    def run(self, steps: i64) -> f64:
+        self.gen.fill(self.grid.front, 0)
+        self.gen.fill(self.grid.back, 0)
+        t0 = MPI.wtime()
+        for s in range(steps):
+            self.compute()
+            self.grid.swap()
+        t1 = MPI.wtime()
+        total = self.interior_sum(self.grid.front)
+        tbuf = wj.zeros(f64, 1)
+        tbuf[0] = t1 - t0
+        wj.output("secs", tbuf)
+        wj.output("grid", self.grid.front)
+        return total
+
+
+@wootin
+class StencilCPU3D_MPI(StencilCPU3D):
+    """Multi-node 3-D runner: z-slab decomposition, plane halo exchange
+    (paper: StencilCPU4DblB_MPI)."""
+
+    def __init__(
+        self,
+        solver: ThreeDSolver,
+        grid: FloatGridDblB,
+        idx: ThreeDIndexer,
+        gen: Generator,
+        ctx: EmptyContext,
+    ):
+        super().__init__(solver, grid, idx, gen, ctx)
+
+    def exchange(self) -> None:
+        rank = MPI.rank()
+        size = MPI.size()
+        pl = self.idx.plane()
+        nz = self.idx.nz
+        front = self.grid.front
+        if size > 1:
+            # interior planes travel up; halo planes fill from below
+            if rank < size - 1:
+                MPI.send_part(front, (nz - 2) * pl, pl, rank + 1, 1)
+            if rank > 0:
+                MPI.recv_part(front, 0, pl, rank - 1, 1)
+            # and symmetrically downward
+            if rank > 0:
+                MPI.send_part(front, pl, pl, rank - 1, 2)
+            if rank < size - 1:
+                MPI.recv_part(front, (nz - 1) * pl, pl, rank + 1, 2)
+
+    def run(self, steps: i64) -> f64:
+        rank = MPI.rank()
+        self.gen.fill(self.grid.front, rank)
+        self.gen.fill(self.grid.back, rank)
+        MPI.barrier()
+        t0 = MPI.wtime()
+        for s in range(steps):
+            self.exchange()
+            self.compute()
+            self.grid.swap()
+        t1 = MPI.wtime()
+        local = self.interior_sum(self.grid.front)
+        total = MPI.allreduce_sum(local)
+        tbuf = wj.zeros(f64, 1)
+        tbuf[0] = t1 - t0
+        wj.output("secs", tbuf)
+        wj.output("grid", self.grid.front)
+        return total
+
+
+@wootin
+class StencilGPU3D(StencilRunner):
+    """Single-GPU 3-D runner: data device-resident, one thread per interior
+    cell (paper: StencilGPU4DblB)."""
+
+    solver: ThreeDSolver
+    grid: FloatGridDblB
+    idx: ThreeDIndexer
+    gen: Generator
+    ctx: EmptyContext
+
+    def __init__(
+        self,
+        solver: ThreeDSolver,
+        grid: FloatGridDblB,
+        idx: ThreeDIndexer,
+        gen: Generator,
+        ctx: EmptyContext,
+    ):
+        super().__init__()
+        self.solver = solver
+        self.grid = grid
+        self.idx = idx
+        self.gen = gen
+        self.ctx = ctx
+
+    @global_kernel
+    def step_kernel(self, conf: CudaConfig, src: Array(f32), dst: Array(f32)) -> None:
+        x = cuda.tid_x() + 1
+        y = cuda.bid_x() + 1
+        z = cuda.bid_y() + 1
+        nx = self.idx.nx
+        pl = self.idx.plane()
+        i = self.idx.index(x, y, z)
+        c = ScalarFloat(src[i])
+        xm = ScalarFloat(src[i - 1])
+        xp = ScalarFloat(src[i + 1])
+        ym = ScalarFloat(src[i - nx])
+        yp = ScalarFloat(src[i + nx])
+        zm = ScalarFloat(src[i - pl])
+        zp = ScalarFloat(src[i + pl])
+        r = self.solver.solve(c, xm, xp, ym, yp, zm, zp, self.ctx)
+        dst[i] = r.val()
+
+    def interior_sum(self, arr: Array(f32)) -> f64:
+        total = 0.0
+        nx = self.idx.nx
+        ny = self.idx.ny
+        nz = self.idx.nz
+        for z in range(1, nz - 1):
+            for y in range(1, ny - 1):
+                for x in range(1, nx - 1):
+                    total = total + arr[self.idx.index(x, y, z)]
+        return total
+
+    def run(self, steps: i64) -> f64:
+        self.gen.fill(self.grid.front, 0)
+        self.gen.fill(self.grid.back, 0)
+        t0 = MPI.wtime()
+        d_src = cuda.copy_to_gpu(self.grid.front)
+        d_dst = cuda.copy_to_gpu(self.grid.back)
+        conf = CudaConfig(
+            dim3(self.idx.ny - 2, self.idx.nz - 2, 1),
+            dim3(self.idx.nx - 2, 1, 1),
+        )
+        for s in range(steps):
+            self.step_kernel(conf, d_src, d_dst)
+            tmp = d_src
+            d_src = d_dst
+            d_dst = tmp
+        t1 = MPI.wtime()
+        tbuf = wj.zeros(f64, 1)
+        tbuf[0] = t1 - t0
+        wj.output("secs", tbuf)
+        back = cuda.copy_from_gpu(d_src)
+        cuda.free_gpu(d_src)
+        cuda.free_gpu(d_dst)
+        total = self.interior_sum(back)
+        wj.output("grid", back)
+        return total
+
+
+@wootin
+class StencilGPU3D_MPI(StencilGPU3D):
+    """Multi-node GPU runner: device-resident slabs, per-step halo exchange
+    via plane pack/unpack kernels and host staging (paper:
+    StencilGPU4DblB_MPI — "CPUs were used only for inter-node
+    communication")."""
+
+    def __init__(
+        self,
+        solver: ThreeDSolver,
+        grid: FloatGridDblB,
+        idx: ThreeDIndexer,
+        gen: Generator,
+        ctx: EmptyContext,
+    ):
+        super().__init__(solver, grid, idx, gen, ctx)
+
+    @global_kernel
+    def pack_kernel(self, conf: CudaConfig, src: Array(f32), buf: Array(f32), z: i64) -> None:
+        x = cuda.tid_x()
+        y = cuda.bid_x()
+        buf[x + self.idx.nx * y] = src[self.idx.index(x, y, z)]
+
+    @global_kernel
+    def unpack_kernel(self, conf: CudaConfig, dst: Array(f32), buf: Array(f32), z: i64) -> None:
+        x = cuda.tid_x()
+        y = cuda.bid_x()
+        dst[self.idx.index(x, y, z)] = buf[x + self.idx.nx * y]
+
+    def exchange_gpu(self, d_src: Array(f32), hbuf: Array(f32)) -> None:
+        rank = MPI.rank()
+        size = MPI.size()
+        nz = self.idx.nz
+        pconf = CudaConfig(dim3(self.idx.ny, 1, 1), dim3(self.idx.nx, 1, 1))
+        if size > 1:
+            pl = self.idx.plane()
+            d_plane = cuda.device_zeros(f32, pl)
+            # upward: my top interior plane -> upper neighbour's bottom halo
+            if rank < size - 1:
+                self.pack_kernel(pconf, d_src, d_plane, nz - 2)
+                hsend = cuda.copy_from_gpu(d_plane)
+                MPI.send(hsend, rank + 1, 1)
+                wj.free(hsend)
+            if rank > 0:
+                MPI.recv(hbuf, rank - 1, 1)
+                d_recv = cuda.copy_to_gpu(hbuf)
+                self.unpack_kernel(pconf, d_src, d_recv, 0)
+                cuda.free_gpu(d_recv)
+            # downward: my bottom interior plane -> lower neighbour's top halo
+            if rank > 0:
+                self.pack_kernel(pconf, d_src, d_plane, 1)
+                hsend2 = cuda.copy_from_gpu(d_plane)
+                MPI.send(hsend2, rank - 1, 2)
+                wj.free(hsend2)
+            if rank < size - 1:
+                MPI.recv(hbuf, rank + 1, 2)
+                d_recv2 = cuda.copy_to_gpu(hbuf)
+                self.unpack_kernel(pconf, d_src, d_recv2, nz - 1)
+                cuda.free_gpu(d_recv2)
+            cuda.free_gpu(d_plane)
+
+    def run(self, steps: i64) -> f64:
+        rank = MPI.rank()
+        self.gen.fill(self.grid.front, rank)
+        self.gen.fill(self.grid.back, rank)
+        MPI.barrier()
+        t0 = MPI.wtime()
+        d_src = cuda.copy_to_gpu(self.grid.front)
+        d_dst = cuda.copy_to_gpu(self.grid.back)
+        hbuf = wj.zeros(f32, self.idx.plane())
+        conf = CudaConfig(
+            dim3(self.idx.ny - 2, self.idx.nz - 2, 1),
+            dim3(self.idx.nx - 2, 1, 1),
+        )
+        for s in range(steps):
+            self.exchange_gpu(d_src, hbuf)
+            self.step_kernel(conf, d_src, d_dst)
+            tmp = d_src
+            d_src = d_dst
+            d_dst = tmp
+        t1 = MPI.wtime()
+        tbuf = wj.zeros(f64, 1)
+        tbuf[0] = t1 - t0
+        wj.output("secs", tbuf)
+        back = cuda.copy_from_gpu(d_src)
+        cuda.free_gpu(d_src)
+        cuda.free_gpu(d_dst)
+        wj.free(hbuf)
+        local = self.interior_sum(back)
+        total = MPI.allreduce_sum(local)
+        wj.output("grid", back)
+        return total

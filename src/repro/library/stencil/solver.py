@@ -1,0 +1,123 @@
+"""Stencil solvers (the paper's ``StencilSolver`` hierarchy, Listing 1).
+
+A solver implements only the kernel operation applied to each grid element,
+independently of parallelism, buffering, or layout — the whole point of the
+library design.  Values arrive boxed in physical quantities; WootinJ-style
+translation flattens the boxes and devirtualizes ``solve``.
+"""
+
+from __future__ import annotations
+
+from repro.lang import f32, f64, wootin
+from repro.library.stencil.physq import EmptyContext, ScalarDouble, ScalarFloat
+
+
+@wootin
+class StencilSolver:
+    """Root of the solver hierarchy (abstract)."""
+
+    def __init__(self):
+        pass
+
+
+@wootin
+class OneDSolver(StencilSolver):
+    """Solvers over 3-point 1-D stencils (abstract)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def solve(
+        self,
+        left: ScalarFloat,
+        right: ScalarFloat,
+        center: ScalarFloat,
+        context: EmptyContext,
+    ) -> ScalarFloat:
+        return center
+
+
+@wootin
+class Dif1DSolver(OneDSolver):
+    """One-dimensional diffusion (the paper's Listing 1)::
+
+        value = a * (left + right) + b * center
+    """
+
+    a: f32
+    b: f32
+
+    def __init__(self, a: f32, b: f32):
+        super().__init__()
+        self.a = a
+        self.b = b
+
+    def solve(
+        self,
+        left: ScalarFloat,
+        right: ScalarFloat,
+        center: ScalarFloat,
+        context: EmptyContext,
+    ) -> ScalarFloat:
+        value = self.a * (left.val() + right.val()) + self.b * center.val()
+        return ScalarFloat(value)
+
+
+@wootin
+class ThreeDSolver(StencilSolver):
+    """Solvers over 7-point 3-D stencils (abstract)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def solve(
+        self,
+        c: ScalarFloat,
+        xm: ScalarFloat,
+        xp: ScalarFloat,
+        ym: ScalarFloat,
+        yp: ScalarFloat,
+        zm: ScalarFloat,
+        zp: ScalarFloat,
+        context: EmptyContext,
+    ) -> ScalarFloat:
+        return c
+
+
+@wootin
+class Dif3DSolver(ThreeDSolver):
+    """Three-dimensional diffusion, explicit Euler (the §4.1 workload)::
+
+        u' = cc*u + cw*(x-+x+) + ch*(y-+y+) + cd*(z-+z+)
+    """
+
+    cc: f32
+    cw: f32
+    ch: f32
+    cd: f32
+
+    def __init__(self, cc: f32, cw: f32, ch: f32, cd: f32):
+        super().__init__()
+        self.cc = cc
+        self.cw = cw
+        self.ch = ch
+        self.cd = cd
+
+    def solve(
+        self,
+        c: ScalarFloat,
+        xm: ScalarFloat,
+        xp: ScalarFloat,
+        ym: ScalarFloat,
+        yp: ScalarFloat,
+        zm: ScalarFloat,
+        zp: ScalarFloat,
+        context: EmptyContext,
+    ) -> ScalarFloat:
+        value = (
+            self.cc * c.val()
+            + self.cw * (xm.val() + xp.val())
+            + self.ch * (ym.val() + yp.val())
+            + self.cd * (zm.val() + zp.val())
+        )
+        return ScalarFloat(value)

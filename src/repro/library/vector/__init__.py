@@ -1,0 +1,37 @@
+"""Distributed vector (BLAS-1) class library.
+
+A third library built on the framework — the direction the paper's §6 sets
+("develop larger class libraries in the HPC domain").  Same architecture as
+the other two: *what* to compute (``VectorKernel`` leaf classes), *how* to
+run it (``VectorEngine``: sequential CPU, MPI-distributed, GPU), composed
+into one semi-immutable application object and JIT-translated.
+
+Distributed layout: each rank owns a contiguous block of the global vector;
+reductions finish with an ``allreduce``.
+"""
+
+from repro.library.vector.engine import (
+    CpuVectorEngine,
+    GpuVectorEngine,
+    MpiVectorEngine,
+    VectorEngine,
+)
+from repro.library.vector.kernels import (
+    AxpyKernel,
+    DotKernel,
+    Norm2Kernel,
+    ScaleKernel,
+    VectorKernel,
+)
+
+__all__ = [
+    "AxpyKernel",
+    "CpuVectorEngine",
+    "DotKernel",
+    "GpuVectorEngine",
+    "MpiVectorEngine",
+    "Norm2Kernel",
+    "ScaleKernel",
+    "VectorEngine",
+    "VectorKernel",
+]

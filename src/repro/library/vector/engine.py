@@ -1,0 +1,130 @@
+"""Vector engines (the *how* of the vector library).
+
+``run(x, y)`` applies the composed kernel over the local block (updating
+``x`` in place via the map), reduces the contributions, finishes globally
+(allreduce on MPI), publishes the updated block under ``"x"``, and returns
+the finished reduction.  Per-rank data is generated in place from the rank's
+block offset, like the other libraries.
+"""
+
+from __future__ import annotations
+
+from repro.cuda import CudaConfig, cuda, dim3
+from repro.lang import Array, f64, global_kernel, i64, wj, wootin
+from repro.library.vector.kernels import VectorKernel
+from repro.mpi import MPI
+
+
+@wootin
+class VectorEngine:
+    """Interface: drive a VectorKernel across the vectors (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def run(self, x: Array(f64), y: Array(f64)) -> f64:
+        return 0.0
+
+
+@wootin
+class CpuVectorEngine(VectorEngine):
+    """Sequential engine."""
+
+    kernel: VectorKernel
+
+    def __init__(self, kernel: VectorKernel):
+        super().__init__()
+        self.kernel = kernel
+
+    def run(self, x: Array(f64), y: Array(f64)) -> f64:
+        n = len(x)
+        total = 0.0
+        for i in range(n):
+            total = total + self.kernel.contribute(x[i], y[i])
+            x[i] = self.kernel.map(x[i], y[i])
+        wj.output("x", x)
+        return self.kernel.finish(total)
+
+
+@wootin
+class MpiVectorEngine(VectorEngine):
+    """Block-distributed engine: local fused map+reduce, then allreduce.
+
+    Each rank fills its block of the seeded global vectors first, so one
+    translated program serves every rank."""
+
+    kernel: VectorKernel
+
+    def __init__(self, kernel: VectorKernel):
+        super().__init__()
+        self.kernel = kernel
+
+    def fill(self, v: Array(f64), seed: i64, offset: i64) -> None:
+        n = len(v)
+        for i in range(n):
+            state = ((offset + i + 1) * (seed + 7)) % 2147483648
+            state = (state * 1103515245 + 12345) % 2147483648
+            v[i] = float(state) / 2147483648.0 - 0.5
+
+    def run(self, x: Array(f64), y: Array(f64)) -> f64:
+        rank = MPI.rank()
+        n = len(x)
+        offset = rank * n
+        self.fill(x, 1, offset)
+        self.fill(y, 2, offset)
+        total = 0.0
+        for i in range(n):
+            total = total + self.kernel.contribute(x[i], y[i])
+            x[i] = self.kernel.map(x[i], y[i])
+        total = MPI.allreduce_sum(total)
+        wj.output("x", x)
+        return self.kernel.finish(total)
+
+
+@wootin
+class GpuVectorEngine(VectorEngine):
+    """Device engine: map on the GPU (one thread per element), reduction
+    finished on the host from per-block partials."""
+
+    kernel: VectorKernel
+    block: i64
+
+    def __init__(self, kernel: VectorKernel, block: i64):
+        super().__init__()
+        self.kernel = kernel
+        self.block = block
+
+    @global_kernel
+    def fused_kernel(
+        self,
+        conf: CudaConfig,
+        x: Array(f64),
+        y: Array(f64),
+        partial: Array(f64),
+    ) -> None:
+        # one contribution slot per thread: race-free without atomics
+        i = cuda.bid_x() * cuda.bdim_x() + cuda.tid_x()
+        partial[i] = self.kernel.contribute(x[i], y[i])
+        x[i] = self.kernel.map(x[i], y[i])
+
+    def run(self, x: Array(f64), y: Array(f64)) -> f64:
+        n = len(x)
+        blocks = n // self.block
+        dx = cuda.copy_to_gpu(x)
+        dy = cuda.copy_to_gpu(y)
+        dpartial = cuda.device_zeros(f64, n)
+        conf = CudaConfig(dim3(blocks, 1, 1), dim3(self.block, 1, 1))
+        self.fused_kernel(conf, dx, dy, dpartial)
+        partial = cuda.copy_from_gpu(dpartial)
+        back = cuda.copy_from_gpu(dx)
+        total = 0.0
+        for i in range(n):
+            total = total + partial[i]
+        total = MPI.allreduce_sum(total)
+        wj.output("x", back)
+        cuda.free_gpu(dx)
+        cuda.free_gpu(dy)
+        cuda.free_gpu(dpartial)
+        wj.free(partial)
+        wj.free(back)
+        return self.kernel.finish(total)

@@ -1,0 +1,96 @@
+"""Per-element vector kernels (the *what* of the vector library).
+
+Each kernel is a leaf class implementing two operations over a pair of
+elements: ``map(x, y)`` — the element written back into ``x`` — and
+``contribute(x, y)`` — the value folded into the running reduction.  The
+engines drive these across the (possibly distributed, possibly
+device-resident) vectors; the composition is devirtualized away exactly like
+the stencil solvers.
+"""
+
+from __future__ import annotations
+
+from repro.lang import f64, wootin, wjmath
+
+
+@wootin
+class VectorKernel:
+    """Interface: one fused map+reduce over vector elements (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def map(self, x: f64, y: f64) -> f64:
+        return x
+
+    def contribute(self, x: f64, y: f64) -> f64:
+        return 0.0
+
+    def finish(self, reduced: f64) -> f64:
+        """Post-process the global reduction (e.g. sqrt for norms)."""
+        return reduced
+
+
+@wootin
+class AxpyKernel(VectorKernel):
+    """x <- a*x + y; reduction returns the sum of the new x."""
+
+    a: f64
+
+    def __init__(self, a: f64):
+        super().__init__()
+        self.a = a
+
+    def map(self, x: f64, y: f64) -> f64:
+        return self.a * x + y
+
+    def contribute(self, x: f64, y: f64) -> f64:
+        return self.a * x + y
+
+
+@wootin
+class ScaleKernel(VectorKernel):
+    """x <- a*x; reduction returns the sum of the new x."""
+
+    a: f64
+
+    def __init__(self, a: f64):
+        super().__init__()
+        self.a = a
+
+    def map(self, x: f64, y: f64) -> f64:
+        return self.a * x
+
+    def contribute(self, x: f64, y: f64) -> f64:
+        return self.a * x
+
+
+@wootin
+class DotKernel(VectorKernel):
+    """x unchanged; reduction returns <x, y>."""
+
+    def __init__(self):
+        super().__init__()
+
+    def map(self, x: f64, y: f64) -> f64:
+        return x
+
+    def contribute(self, x: f64, y: f64) -> f64:
+        return x * y
+
+
+@wootin
+class Norm2Kernel(VectorKernel):
+    """x unchanged; reduction returns ||x||₂ (finish applies the sqrt)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def map(self, x: f64, y: f64) -> f64:
+        return x
+
+    def contribute(self, x: f64, y: f64) -> f64:
+        return x * x
+
+    def finish(self, reduced: f64) -> f64:
+        return wjmath.sqrt(reduced)

@@ -1,0 +1,34 @@
+"""Simulated MPI substrate.
+
+The paper's experiments run on up to dozens of TSUBAME 2.0 nodes; this host
+has one core, so multi-node *time* must be modeled while multi-rank
+*execution* stays real.  The design is standard trace-driven LogP/Hockney
+simulation:
+
+* every rank runs the **actual program** (interpreted guest code or
+  translated C) in its own OS thread, exchanging **real data** through the
+  communicator — results are bit-checked against sequential runs in tests;
+* every rank owns a :class:`~repro.mpi.comm.VirtualClock`; compute segments
+  advance it by measured per-thread CPU time (``time.thread_time``, immune
+  to GIL interleaving and core oversubscription), and communication events
+  advance it by the :class:`~repro.mpi.netmodel.NetworkModel` (α–β costs,
+  log-tree collectives) with Lamport ``max`` semantics on message receipt;
+* reported "wall-clock" for scaling figures is the max final virtual clock
+  over ranks.
+"""
+
+from repro.mpi.api import MPI
+from repro.mpi.comm import Communicator, RankContext, VirtualClock
+from repro.mpi.launcher import MpiRunResult, mpirun
+from repro.mpi.netmodel import NetworkModel, TSUBAME_NET
+
+__all__ = [
+    "MPI",
+    "Communicator",
+    "MpiRunResult",
+    "NetworkModel",
+    "RankContext",
+    "TSUBAME_NET",
+    "VirtualClock",
+    "mpirun",
+]

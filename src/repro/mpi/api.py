@@ -1,0 +1,166 @@
+"""The ``MPI`` guest class.
+
+Paper §3: "WootinJ provides the MPI class in Java.  Since this class is not
+a wrapper class that accesses the MPI functions in C through JNI, no runtime
+penalties are involved in this class.  A call in Java to a method in the MPI
+class is translated by WootinJ into a direct call in C to the corresponding
+MPI function."
+
+Identically here: inside translated code every ``MPI.x(...)`` call lowers to
+an intrinsic serviced directly by the simulated communicator (a single
+runtime callback in the C backend — no per-element wrapping).  Under direct
+CPython execution the same statics talk to the communicator bound in the
+thread-local runtime context; outside any ``mpirun`` they behave as a
+1-rank world, so libraries run unmodified in sequential mode.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.errors import MpiError
+from repro.lang import types as _t
+from repro.lang.intrinsics import IntrinsicSpec, intrinsic_registry
+
+__all__ = ["MPI"]
+
+
+def _ctx():
+    from repro import rt
+
+    return rt.current.mpi_ctx
+
+
+def _require_ctx():
+    ctx = _ctx()
+    if ctx is None:
+        raise MpiError(
+            "point-to-point MPI used outside mpirun (world size is 1)"
+        )
+    return ctx
+
+
+class MPI:
+    """Guest-visible MPI statics (see module docstring)."""
+
+    @staticmethod
+    def rank() -> int:
+        ctx = _ctx()
+        return 0 if ctx is None else ctx.rank
+
+    @staticmethod
+    def size() -> int:
+        ctx = _ctx()
+        return 1 if ctx is None else ctx.size
+
+    @staticmethod
+    def send(data, dest, tag):
+        ctx = _require_ctx()
+        ctx.comm.send(ctx, np.asarray(data), int(dest), int(tag))
+
+    @staticmethod
+    def recv(out, source, tag):
+        ctx = _require_ctx()
+        ctx.comm.recv(ctx, np.asarray(out), int(source), int(tag))
+
+    @staticmethod
+    def sendrecv(senddata, dest, out, source, tag):
+        ctx = _require_ctx()
+        ctx.comm.sendrecv(
+            ctx, np.asarray(senddata), int(dest), np.asarray(out), int(source), int(tag)
+        )
+
+    # sub-array variants (MPI's &buf[offset], count idiom) — used for halo
+    # exchange of contiguous planes without staging copies
+    @staticmethod
+    def send_part(data, offset, count, dest, tag):
+        ctx = _require_ctx()
+        o, c = int(offset), int(count)
+        ctx.comm.send(ctx, np.asarray(data)[o:o + c], int(dest), int(tag))
+
+    @staticmethod
+    def recv_part(out, offset, count, source, tag):
+        ctx = _require_ctx()
+        o, c = int(offset), int(count)
+        ctx.comm.recv(ctx, np.asarray(out)[o:o + c], int(source), int(tag))
+
+    @staticmethod
+    def sendrecv_part(senddata, soffset, count, dest, out, roffset, source, tag):
+        ctx = _require_ctx()
+        so, ro, c = int(soffset), int(roffset), int(count)
+        ctx.comm.sendrecv(
+            ctx,
+            np.asarray(senddata)[so:so + c],
+            int(dest),
+            np.asarray(out)[ro:ro + c],
+            int(source),
+            int(tag),
+        )
+
+    @staticmethod
+    def barrier():
+        ctx = _ctx()
+        if ctx is not None:
+            ctx.comm.barrier(ctx)
+
+    @staticmethod
+    def allreduce_sum(value) -> float:
+        ctx = _ctx()
+        if ctx is None:
+            return float(value)
+        return ctx.comm.allreduce_sum(ctx, float(value))
+
+    @staticmethod
+    def allreduce_sum_array(data):
+        ctx = _ctx()
+        if ctx is not None:
+            ctx.comm.allreduce_sum_array(ctx, np.asarray(data))
+
+    @staticmethod
+    def bcast(data, root):
+        ctx = _ctx()
+        if ctx is not None:
+            ctx.comm.bcast(ctx, np.asarray(data), int(root))
+
+    @staticmethod
+    def gather(data, out, root):
+        ctx = _ctx()
+        if ctx is None:
+            np.asarray(out)[...] = np.asarray(data)
+            return
+        ctx.comm.gather(ctx, np.asarray(data), np.asarray(out), int(root))
+
+    @staticmethod
+    def wtime() -> float:
+        """The rank's *virtual* clock (simulated seconds); real time when
+        used outside mpirun."""
+        ctx = _ctx()
+        if ctx is None:
+            return _time.perf_counter()
+        ctx.clock.sync_cpu()
+        return ctx.clock.t
+
+
+_SPECS = [
+    ("rank", "mpi.rank", _t.I64, MPI.rank),
+    ("size", "mpi.size", _t.I64, MPI.size),
+    ("send", "mpi.send", _t.VOID, MPI.send),
+    ("recv", "mpi.recv", _t.VOID, MPI.recv),
+    ("sendrecv", "mpi.sendrecv", _t.VOID, MPI.sendrecv),
+    ("send_part", "mpi.send_part", _t.VOID, MPI.send_part),
+    ("recv_part", "mpi.recv_part", _t.VOID, MPI.recv_part),
+    ("sendrecv_part", "mpi.sendrecv_part", _t.VOID, MPI.sendrecv_part),
+    ("barrier", "mpi.barrier", _t.VOID, MPI.barrier),
+    ("allreduce_sum", "mpi.allreduce_sum", _t.F64, MPI.allreduce_sum),
+    ("allreduce_sum_array", "mpi.allreduce_sum_arr", _t.VOID, MPI.allreduce_sum_array),
+    ("bcast", "mpi.bcast", _t.VOID, MPI.bcast),
+    ("gather", "mpi.gather", _t.VOID, MPI.gather),
+    ("wtime", "mpi.wtime", _t.F64, MPI.wtime),
+]
+
+for _name, _key, _ret, _impl in _SPECS:
+    intrinsic_registry.register(
+        MPI, (_name,), IntrinsicSpec(key=_key, ret=_ret, pyimpl=_impl)
+    )

@@ -1,0 +1,64 @@
+"""Hockney (α–β) network cost model with log-tree collectives.
+
+Point-to-point: ``t = α + n/β``.  Collectives use the textbook algorithms
+(binomial-tree broadcast, recursive-doubling allreduce/barrier), giving
+``ceil(log2 p)`` rounds.  The TSUBAME 2.0 instance models its QDR InfiniBand
+fabric (the machine the paper measured on): ~2 µs latency, ~3 GB/s effective
+per-link bandwidth.
+
+The model is a pure function of (bytes, ranks) — no randomness, no wall
+clock — so simulated timings are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "TSUBAME_NET", "LOCAL_NET"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """α–β interconnect model."""
+
+    name: str = "generic"
+    latency_s: float = 2.0e-6  # α
+    bandwidth: float = 3.0e9   # β, bytes/s
+
+    def ptp_time(self, nbytes: int) -> float:
+        """One point-to-point message."""
+        return self.latency_s + nbytes / self.bandwidth
+
+    @staticmethod
+    def _rounds(p: int) -> int:
+        return max(0, math.ceil(math.log2(max(1, p))))
+
+    def barrier_time(self, p: int) -> float:
+        return self._rounds(p) * self.latency_s * 2.0
+
+    def bcast_time(self, nbytes: int, p: int) -> float:
+        return self._rounds(p) * self.ptp_time(nbytes)
+
+    def reduce_time(self, nbytes: int, p: int) -> float:
+        return self._rounds(p) * self.ptp_time(nbytes)
+
+    def allreduce_time(self, nbytes: int, p: int) -> float:
+        # recursive doubling: log2(p) rounds of exchange
+        return self._rounds(p) * 2.0 * self.ptp_time(nbytes)
+
+    def gather_time(self, nbytes_per_rank: int, p: int) -> float:
+        # binomial gather: data volume doubles each round towards the root
+        t = 0.0
+        chunk = nbytes_per_rank
+        for _ in range(self._rounds(p)):
+            t += self.ptp_time(chunk)
+            chunk *= 2
+        return t
+
+
+#: TSUBAME 2.0-like QDR InfiniBand (the paper's testbed fabric).
+TSUBAME_NET = NetworkModel(name="tsubame2-qdr-ib", latency_s=2.0e-6, bandwidth=3.0e9)
+
+#: An intra-node shared-memory fabric, for sanity experiments.
+LOCAL_NET = NetworkModel(name="shm", latency_s=3.0e-7, bandwidth=8.0e9)

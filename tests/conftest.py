@@ -1,0 +1,73 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.cbackend import compiler_available
+from repro.library.stencil.config import diffusion_coefficients
+
+requires_cc = pytest.mark.skipif(
+    not compiler_available(), reason="no C compiler on this host"
+)
+
+BACKENDS = ["py"] + (["c"] if compiler_available() else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Parametrize a test over every available backend."""
+    return request.param
+
+
+def seeded_matrix(ng: int, seed: int) -> np.ndarray:
+    """NumPy reference of SimpleMatrix.value_at's seeded global matrix."""
+    i, j = np.meshgrid(np.arange(ng), np.arange(ng), indexing="ij")
+    state = ((i * ng + j + 1) * (seed + 7)) % 2147483648
+    state = (state * 1103515245 + 12345) % 2147483648
+    return state / 2147483648.0 - 0.5
+
+
+def sine_field(nx: int, ny: int, nz_interior: int) -> np.ndarray:
+    """NumPy reference of SineGen's global field, shaped (nz_interior+2, ny,
+    nx) including the z boundary planes."""
+    z = np.arange(nz_interior + 2) - 1
+    y = np.arange(ny)
+    x = np.arange(nx)
+    zz, yy, xx = np.meshgrid(z, y, x, indexing="ij")
+    pi = np.pi
+    field = (
+        np.sin(pi * (xx + 1.0) / (nx + 1.0))
+        * np.sin(pi * (yy + 1.0) / (ny + 1.0))
+        * np.sin(pi * (zz + 1.0) / (nz_interior + 1.0))
+    )
+    return field.astype(np.float32)
+
+
+def diffusion3d_reference(nx: int, ny: int, nz_interior: int, steps: int) -> np.ndarray:
+    """Sequential float32 reference of the library's 3-D diffusion: SineGen
+    initial data, Dirichlet boundaries, `steps` sweeps."""
+    cc, cw, ch, cd = (np.float32(v) for v in diffusion_coefficients())
+    a = sine_field(nx, ny, nz_interior)
+    b = a.copy()
+    for _ in range(steps):
+        core = (
+            cc * a[1:-1, 1:-1, 1:-1]
+            + cw * (a[1:-1, 1:-1, :-2] + a[1:-1, 1:-1, 2:])
+            + ch * (a[1:-1, :-2, 1:-1] + a[1:-1, 2:, 1:-1])
+            + cd * (a[:-2, 1:-1, 1:-1] + a[2:, 1:-1, 1:-1])
+        )
+        b[1:-1, 1:-1, 1:-1] = core
+        a, b = b, a
+    return a
+
+
+def stitch_grids(outputs, nranks: int, nx: int, ny: int, nzl: int) -> np.ndarray:
+    """Assemble per-rank 'grid' outputs (with halos) into the global
+    interior, shaped (nranks*nzl, ny, nx)."""
+    slabs = []
+    for r in range(nranks):
+        g = outputs[r]["grid"].reshape(nzl + 2, ny, nx)
+        slabs.append(g[1:-1])
+    return np.concatenate(slabs, axis=0)

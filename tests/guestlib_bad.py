@@ -1,0 +1,235 @@
+"""Guest classes that each violate one coding rule (paper §3.2).
+
+The violations surface at JIT time (rule checking happens when a method is
+about to be translated), so these classes can be defined here and poked by
+``tests/test_rules_violations.py``.
+"""
+
+from __future__ import annotations
+
+from repro import Array, f32, f64, i64, wootin
+
+
+@wootin
+class TernaryUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        return 1 if x > 0 else 2  # rule 7
+
+
+@wootin
+class RefEqUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        y = x
+        if y is x:  # rule 7
+            return 1
+        return 0
+
+
+@wootin
+class TryUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        try:  # rule 8
+            return x
+        except Exception:
+            return 0
+
+
+@wootin
+class RaiseUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        if x < 0:
+            raise ValueError("no")  # rule 8
+        return x
+
+
+@wootin
+class IsinstanceUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        if isinstance(x, int):  # rule 8 (reflection)
+            return 1
+        return 0
+
+
+@wootin
+class NoneUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        y = None  # rule 8 (null literal)
+        return x
+
+
+@wootin
+class ParamReassigner:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        x = x + 1  # rule 3: parameters are constant
+        return x
+
+
+@wootin
+class LambdaUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        f = lambda a: a + 1  # rule 8
+        return x
+
+
+@wootin
+class ComprehensionUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        ys = [i for i in range(x)]  # rule 8 (also list literal)
+        return x
+
+
+@wootin
+class ListLiteralUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        ys = [1, 2, 3]  # rule 8
+        return x
+
+
+@wootin
+class PrintUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        print(x)  # rule 8: native IO
+        return x
+
+
+@wootin
+class SliceUser:
+    def __init__(self):
+        pass
+
+    def run(self, a: Array(f64)) -> f64:
+        b = a[1:3]  # slicing outside the subset
+        return 0.0
+
+
+@wootin
+class CtorBranches:
+    x: i64
+
+    def __init__(self, flag: i64):
+        if flag > 0:  # constructors must be straight-line (def. 3d)
+            self.x = 1
+        else:
+            self.x = 2
+
+    def get(self) -> i64:
+        return self.x
+
+
+@wootin
+class CtorCaller:
+    x: i64
+
+    def __init__(self, x: i64):
+        self.x = self.twice(x)  # no method calls in constructors (3d)
+
+    def twice(self, v: i64) -> i64:
+        return v * 2
+
+    def get(self) -> i64:
+        return self.x
+
+
+@wootin
+class CtorLoop:
+    x: i64
+
+    def __init__(self, n: i64):
+        self.x = 0
+        for i in range(n):  # no loops in constructors (3d)
+            self.x = i
+
+    def get(self) -> i64:
+        return self.x
+
+
+@wootin
+class ScalarFieldMutator:
+    x: f64
+
+    def __init__(self, x: f64):
+        self.x = x
+
+    def run(self) -> f64:
+        self.x = self.x + 1.0  # only array fields may mutate (def. 3c)
+        return self.x
+
+
+@wootin
+class StaticArrayField:
+    TABLE = 3  # fine (constant scalar)
+
+    def __init__(self):
+        pass
+
+    def run(self) -> i64:
+        return self.TABLE
+
+
+class _NotWootin:
+    pass
+
+
+@wootin
+class BadStaticField:
+    CONST = (1, 2)  # rule 5: static fields must be constant scalars
+
+    def __init__(self):
+        pass
+
+    def run(self) -> i64:
+        return 0
+
+
+@wootin
+class DefaultArgUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64 = 3) -> i64:  # default parameter values unsupported
+        return x
+
+
+@wootin
+class NestedFuncUser:
+    def __init__(self):
+        pass
+
+    def run(self, x: i64) -> i64:
+        def helper(v):  # rule 8: nested definitions
+            return v
+
+        return x

@@ -1,0 +1,27 @@
+"""Guest classes for the bounds-checking tests."""
+
+from repro import Array, f64, i64, wootin
+
+
+@wootin
+class OffByOne:
+    def __init__(self):
+        pass
+
+    def run(self, a: Array(f64)) -> f64:
+        total = 0.0
+        for i in range(len(a) + 1):  # classic off-by-one
+            total = total + a[i]
+        return total
+
+
+@wootin
+class SafeSum:
+    def __init__(self):
+        pass
+
+    def run(self, a: Array(f64)) -> f64:
+        total = 0.0
+        for i in range(len(a)):
+            total = total + a[i]
+        return total

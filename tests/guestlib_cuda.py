@@ -1,0 +1,82 @@
+"""Guest kernels for the simulated-device tests."""
+
+from __future__ import annotations
+
+from repro import (
+    Array,
+    CudaConfig,
+    cuda,
+    f64,
+    global_kernel,
+    i64,
+    shared,
+    wootin,
+)
+
+
+@wootin
+class GeometryProbe:
+    """Marks every (block, thread) cell once — full grid coverage check."""
+
+    def __init__(self):
+        pass
+
+    @global_kernel
+    def mark(self, conf: CudaConfig, out: Array(i64)) -> None:
+        bx = cuda.bid_x()
+        by = cuda.bid_y()
+        tx = cuda.tid_x()
+        i = tx + cuda.bdim_x() * (bx + cuda.gdim_x() * by)
+        out[i] = out[i] + 1
+
+
+@wootin
+class BarrierOrderKernel:
+    """Reverses a block through a staging buffer: thread t writes stage[t],
+    syncs, then reads stage[n-1-t].  Without a real barrier, thread t could
+    read a slot its peer has not written yet."""
+
+    def __init__(self):
+        pass
+
+    @global_kernel
+    def reverse(
+        self,
+        conf: CudaConfig,
+        src: Array(f64),
+        stage: Array(f64),
+        dst: Array(f64),
+    ) -> None:
+        t = cuda.tid_x()
+        n = cuda.bdim_x()
+        stage[t] = src[t]
+        cuda.sync_threads()
+        dst[t] = stage[n - 1 - t]
+
+
+@wootin
+class SharedAccumulator:
+    """Per-block tree reduction in shared memory."""
+
+    width: i64
+    buf: shared(Array(f64))
+
+    def __init__(self, width: i64, buf: Array(f64)):
+        self.width = width
+        self.buf = buf
+
+    @global_kernel
+    def block_sums(self, conf: CudaConfig, data: Array(f64), out: Array(f64)) -> None:
+        t = cuda.tid_x()
+        b = cuda.bid_x()
+        n = cuda.bdim_x()
+        self.buf[t] = data[b * n + t]
+        cuda.sync_threads()
+        stride = n // 2
+        while stride > 0:
+            if t < stride:
+                self.buf[t] = self.buf[t] + self.buf[t + stride]
+            cuda.sync_threads()
+            stride = stride // 2
+        if t == 0:
+            out[b] = self.buf[0]

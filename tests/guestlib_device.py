@@ -1,0 +1,42 @@
+"""Guest classes for @device_fn marker tests."""
+
+from repro import (
+    Array,
+    CudaConfig,
+    cuda,
+    device_fn,
+    dim3,
+    f64,
+    global_kernel,
+    i64,
+    wj,
+    wootin,
+)
+
+
+@wootin
+class DeviceOnlyUser:
+    def __init__(self):
+        pass
+
+    @device_fn
+    def scale(self, x: f64) -> f64:
+        return 2.0 * x
+
+    def host_call(self, x: f64) -> f64:
+        return self.scale(x)  # illegal: @device_fn from host code
+
+    @global_kernel
+    def kernel(self, conf: CudaConfig, out: Array(f64)) -> None:
+        i = cuda.tid_x()
+        out[i] = self.scale(float(i))
+
+    def run(self, n: i64) -> f64:
+        d = cuda.device_zeros(f64, n)
+        self.kernel(CudaConfig(dim3(1, 1, 1), dim3(n, 1, 1)), d)
+        back = cuda.copy_from_gpu(d)
+        total = 0.0
+        for i in range(n):
+            total = total + back[i]
+        cuda.free_gpu(d)
+        return total

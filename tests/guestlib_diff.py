@@ -1,0 +1,119 @@
+"""Guest programs for differential testing.
+
+They take *arrays* of inputs and write arrays of outputs, so hypothesis can
+drive data through one compiled specialization (array contents are runtime
+data; only shapes key the code cache).
+"""
+
+from __future__ import annotations
+
+from repro import Array, f64, i64, wj, wjmath, wootin
+
+
+@wootin
+class IntOps:
+    def __init__(self):
+        pass
+
+    def apply(self, a: Array(i64), b: Array(i64), out: Array(i64), op: i64) -> i64:
+        n = len(a)
+        for i in range(n):
+            x = a[i]
+            y = b[i]
+            if op == 0:
+                out[i] = x + y
+            if op == 1:
+                out[i] = x - y
+            if op == 2:
+                out[i] = x * y
+            if op == 3:
+                out[i] = x // y
+            if op == 4:
+                out[i] = x % y
+            if op == 5:
+                out[i] = min(x, y)
+            if op == 6:
+                out[i] = max(x, y)
+            if op == 7:
+                out[i] = abs(x)
+        wj.output("out", out)
+        return n
+
+
+@wootin
+class FloatOps:
+    def __init__(self):
+        pass
+
+    def apply(self, a: Array(f64), b: Array(f64), out: Array(f64), op: i64) -> i64:
+        n = len(a)
+        for i in range(n):
+            x = a[i]
+            y = b[i]
+            if op == 0:
+                out[i] = x + y
+            if op == 1:
+                out[i] = x * y
+            if op == 2:
+                out[i] = x / y
+            if op == 3:
+                out[i] = x % y
+            if op == 4:
+                out[i] = x // y
+            if op == 5:
+                out[i] = wjmath.sqrt(abs(x))
+            if op == 6:
+                out[i] = wjmath.exp(min(x, 3.0))
+            if op == 7:
+                out[i] = x ** 2 + y
+        wj.output("out", out)
+        return n
+
+
+@wootin
+class Reducer:
+    def __init__(self):
+        pass
+
+    def total(self, a: Array(f64)) -> f64:
+        s = 0.0
+        for i in range(len(a)):
+            s = s + a[i]
+        return s
+
+    def count_positive(self, a: Array(f64)) -> i64:
+        c = 0
+        for i in range(len(a)):
+            if a[i] > 0.0:
+                c = c + 1
+        return c
+
+    def running_max(self, a: Array(f64), out: Array(f64)) -> f64:
+        m = a[0]
+        for i in range(len(a)):
+            m = max(m, a[i])
+            out[i] = m
+        wj.output("out", out)
+        return m
+
+
+from tests.guestlib import Pair  # noqa: E402
+
+
+@wootin
+class PairMapper:
+    """Constructs dynamic Pair objects from runtime array data (defeats
+    constant folding so backends must materialize the inlined objects)."""
+
+    def __init__(self):
+        pass
+
+    def dots(self, xs: Array(f64), ys: Array(f64), out: Array(f64)) -> f64:
+        total = 0.0
+        for i in range(len(xs)):
+            p = Pair(xs[i], ys[i])
+            q = p.plus(Pair(ys[i], xs[i]))
+            out[i] = q.dot(p)
+            total = total + out[i]
+        wj.output("out", out)
+        return total

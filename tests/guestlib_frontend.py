@@ -1,0 +1,122 @@
+"""Guest classes for the frontend-detail tests."""
+
+from __future__ import annotations
+
+from repro import Array, boolean, f32, f64, i64, wj, wootin
+
+from tests.guestlib import Pair
+
+
+@wootin
+class ChainedCompare:
+    def __init__(self):
+        pass
+
+    def inside(self, x: i64) -> boolean:
+        return 0 <= x < 10
+
+
+@wootin
+class ClassConstUser:
+    FACTOR = 2.5
+    OFFSET = 4
+
+    def __init__(self):
+        pass
+
+    def scaled(self, x: f64) -> f64:
+        return self.FACTOR * x + self.OFFSET
+
+
+@wootin
+class StaticViaClassName:
+    ANSWER = 42
+
+    def __init__(self):
+        pass
+
+    def read(self) -> i64:
+        return StaticViaClassName.ANSWER
+
+
+@wootin
+class Annotated:
+    def __init__(self):
+        pass
+
+    def narrowing(self, x: f64) -> f64:
+        y: f32 = x  # annotated local: C-style narrowing on assignment
+        z: f64 = y * 2.0
+        return z
+
+
+@wootin
+class CtorChainBase:
+    a: f64
+    b: f64
+
+    def __init__(self, a: f64):
+        self.a = a
+        self.b = 10.0
+
+    def describe(self) -> f64:
+        return self.a + self.b
+
+
+@wootin
+class CtorChain(CtorChainBase):
+    c: f64
+
+    def __init__(self, a: f64):
+        super().__init__(a * 2.0)
+        self.b = 20.0  # subclass may re-initialize a superclass field
+        self.c = 1.0
+
+    def describe(self) -> f64:
+        return self.a + self.b + self.c
+
+
+@wootin
+class AugAssigner:
+    def __init__(self):
+        pass
+
+    def bump(self, a: Array(f64)) -> f64:
+        n = len(a)
+        total = 0.0
+        for i in range(n):
+            a[i] *= 3.0
+            a[i] += 1.0
+            total += a[i]
+        wj.output("a", a)
+        return total
+
+
+@wootin
+class KeywordCaller:
+    def __init__(self):
+        pass
+
+    def run(self) -> f64:
+        p = Pair(x=1.0, y=2.0)  # keyword arguments are outside the subset
+        return p.x
+
+
+@wootin
+class BadMethodCaller:
+    def __init__(self):
+        pass
+
+    def run(self) -> f64:
+        p = Pair(1.0, 2.0)
+        return p.magnitude()  # no such method
+
+
+@wootin
+class WrongArity:
+    def __init__(self):
+        pass
+
+    def run(self) -> f64:
+        p = Pair(1.0, 2.0)
+        return p.dot()  # missing argument

@@ -1,0 +1,77 @@
+"""Guests exercising shape merges: locals that may hold either of two
+snapshot objects (degrading to dynamic values), loop-carried objects, and
+conditionally-assigned locals."""
+
+from __future__ import annotations
+
+from repro import Array, f64, i64, wootin
+
+
+@wootin
+class Weight:
+    w: f64
+    bias: f64
+
+    def __init__(self, w: f64, bias: f64):
+        self.w = w
+        self.bias = bias
+
+    def apply(self, x: f64) -> f64:
+        return self.w * x + self.bias
+
+
+@wootin
+class Chooser:
+    """A local holds one of two snapshot Weight objects depending on a
+    runtime condition — the merged shape is a dynamic value, the call on it
+    still devirtualizes (both candidates are the same leaf class)."""
+
+    wa: Weight
+    wb: Weight
+
+    def __init__(self, wa: Weight, wb: Weight):
+        self.wa = wa
+        self.wb = wb
+
+    def pick_apply(self, x: f64, use_a: i64) -> f64:
+        if use_a != 0:
+            w = self.wa
+        else:
+            w = self.wb
+        return w.apply(x)
+
+    def loop_swap(self, x: f64, n: i64) -> f64:
+        """Loop-carried object local: alternates between the two snapshot
+        weights; after the fixpoint the local is dynamic."""
+        w = self.wa
+        total = 0.0
+        for i in range(n):
+            total = total + w.apply(x)
+            if i % 2 == 0:
+                w = self.wb
+            else:
+                w = self.wa
+        return total
+
+    def dynamic_return(self, use_a: i64) -> f64:
+        w = self.choose(use_a)
+        return w.apply(2.0)
+
+    def choose(self, use_a: i64) -> Weight:
+        if use_a != 0:
+            return self.wa
+        return self.wb
+
+
+@wootin
+class CondLocal:
+    def __init__(self):
+        pass
+
+    def maybe(self, flag: i64, a: Array(f64)) -> f64:
+        if flag > 0:
+            x = a[0]
+            y = x * 2.0
+        else:
+            y = -1.0
+        return y

@@ -1,0 +1,32 @@
+"""Guest classes for miscellaneous-coverage tests."""
+
+from repro import Array, boolean, i32, i64, wj, wootin
+
+
+@wootin
+class I32Scaler:
+    def __init__(self):
+        pass
+
+    def double_all(self, a: Array(i32)) -> i64:
+        n = len(a)
+        out = wj.zeros(i32, n)
+        total = 0
+        for i in range(n):
+            out[i] = a[i] * 2
+            total = total + out[i]
+        wj.output("out", out)
+        return total
+
+
+@wootin
+class BoolArrayUser:
+    def __init__(self):
+        pass
+
+    def count(self, flags: Array(boolean)) -> i64:
+        c = 0
+        for i in range(len(flags)):
+            if flags[i]:
+                c = c + 1
+        return c

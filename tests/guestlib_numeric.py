@@ -1,0 +1,28 @@
+"""Guest class exercising numeric operator semantics."""
+
+from repro import f32, f64, i64, wootin
+
+
+@wootin
+class Numerics:
+    def __init__(self):
+        pass
+
+    def floordiv(self, a: i64, b: i64) -> i64:
+        return a // b
+
+    def mod(self, a: i64, b: i64) -> i64:
+        return a % b
+
+    def fmod(self, a: f64, b: f64) -> f64:
+        return a % b
+
+    def truediv(self, a: i64, b: i64) -> f64:
+        return a / b
+
+    def narrow_f32(self, x: f64) -> f64:
+        y = f32(x)
+        return float(y) * 2.0
+
+    def promote(self, a: i64, b: f64) -> f64:
+        return a * b + a / 2 - b ** 2

@@ -1,0 +1,32 @@
+"""Guest classes for strict-final (rule 2) tests: a local variable holding
+an instance of a class *with subclasses* is not strict-final."""
+
+from repro import i64, wootin
+
+
+@wootin
+class OpenBase:
+    def __init__(self):
+        pass
+
+    def tag(self) -> i64:
+        return 0
+
+
+@wootin
+class OpenChild(OpenBase):
+    def __init__(self):
+        super().__init__()
+
+    def tag(self) -> i64:
+        return 1
+
+
+@wootin
+class BaseHolder:
+    def __init__(self):
+        pass
+
+    def run(self) -> i64:
+        x = OpenBase()  # OpenBase has subclasses: not strict-final (rule 2)
+        return x.tag()

@@ -1,0 +1,68 @@
+"""Debug bounds-checking build of the C backend.
+
+The paper's translated code performs no array boundary checks (§3.3, the
+developer's responsibility); the debug build catches violations instead of
+corrupting memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import OptLevel
+from repro.backends.cbackend import CBackend, compiler_available
+from repro.errors import GuestRuntimeError
+from repro.frontend.objectgraph import snapshot_args
+from repro.jit.program import Program
+from repro.jit.runtime import RuntimeEnv
+from repro.jit.specialize import Specializer
+
+from tests.guestlib_bounds import OffByOne, SafeSum
+
+pytestmark = pytest.mark.skipif(
+    not compiler_available(), reason="needs a C compiler"
+)
+
+
+def compile_with(app, method, args, *, bounds):
+    snapshot, recv, arg_shapes = snapshot_args(app, args)
+    program = Program(snapshot=snapshot, recv_shape=recv, arg_shapes=arg_shapes)
+    spec = Specializer(program)
+    from repro.lang.types import wootin_info
+
+    minfo = wootin_info(type(app)).find_method(method)
+    program.entry = spec.specialize(minfo, recv, arg_shapes, device=False)
+    backend = CBackend(bounds_checks=bounds)
+    return backend.compile(program, OptLevel.FULL), snapshot
+
+
+class TestBoundsMode:
+    def test_oob_detected(self):
+        a = np.arange(4.0)
+        compiled, snapshot = compile_with(OffByOne(), "run", (a,), bounds=True)
+        arrays = [s.array.copy() for s in snapshot.array_slots]
+        with pytest.raises(GuestRuntimeError, match="out-of-bounds"):
+            compiled.run(RuntimeEnv(None), arrays)
+
+    def test_checked_source_uses_helpers(self):
+        a = np.arange(4.0)
+        compiled, _ = compile_with(SafeSum(), "run", (a,), bounds=True)
+        assert "wj_ld_F64(" in compiled.source
+
+    def test_in_bounds_program_unaffected(self):
+        a = np.arange(8.0)
+        compiled, snapshot = compile_with(SafeSum(), "run", (a,), bounds=True)
+        arrays = [s.array.copy() for s in snapshot.array_slots]
+        assert compiled.run(RuntimeEnv(None), arrays) == pytest.approx(a.sum())
+
+    def test_unchecked_source_is_raw(self):
+        a = np.arange(4.0)
+        compiled, _ = compile_with(SafeSum(), "run", (a,), bounds=False)
+        body = compiled.source.split("typedef struct WjSnap", 1)[1]
+        assert "wj_ld_" not in body  # raw .p[i] accesses, like the paper
+        assert ".p[" in body
+
+    def test_env_var_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BOUNDS", "1")
+        assert CBackend().bounds_checks is True
+        monkeypatch.setenv("REPRO_BOUNDS", "0")
+        assert CBackend().bounds_checks is False

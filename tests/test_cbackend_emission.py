@@ -1,0 +1,137 @@
+"""Structure of the generated C per optimization level (paper Listing 5)."""
+
+import pytest
+
+from repro import OptLevel, jit, jit4gpu, jit4mpi
+
+from tests.conftest import requires_cc
+from tests.guestlib import RingExchanger, Saxpy, ScaleAddSolver, Sweeper
+
+pytestmark = requires_cc
+
+
+def source(app, method, *args, opt=OptLevel.FULL, factory=jit):
+    return factory(app, method, *args, backend="c", opt=opt,
+                   use_cache=False).source
+
+
+class TestFullOptimization:
+    def test_devirtualized_direct_calls(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 2)
+        assert "wj_ScaleAddSolver_solve" in src
+        assert "volatile" not in src  # no dispatch machinery at FULL
+
+    def test_snapshot_fields_folded_to_literals(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 2)
+        assert "0.5f" in src
+        assert "INT64_C(8)" in src  # self.n baked in
+
+    def test_entry_args_recorded_and_baked(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 7)
+        assert "INT64_C(7)" in src
+
+    def test_snap_struct_empty_when_everything_inlined(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 2)
+        assert "int _empty;" in src.split("typedef struct WjSnap", 1)[1]
+
+
+class TestVirtualMode:
+    def test_dispatch_tables_and_bind(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 2,
+                     opt=OptLevel.VIRTUAL)
+        assert "void* volatile t" in src
+        assert "wj_bind" in src
+        assert "snap->t" in src  # indirect call through the table
+
+    def test_scalars_become_runtime_loads(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 2,
+                     opt=OptLevel.VIRTUAL)
+        assert "/* self.solver.a */" in src
+        assert "/* entry.iters */" in src  # entry args are runtime too
+
+
+class TestDevirtMode:
+    def test_direct_calls_but_runtime_fields(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 2,
+                     opt=OptLevel.DEVIRT)
+        assert "volatile" not in src
+        assert "/* self.solver.a */" in src
+
+
+class TestPlatformEmission:
+    def test_mpi_intrinsics_are_single_calls(self):
+        code = jit4mpi(RingExchanger(4), "run", 1, backend="c",
+                       use_cache=False)
+        src = code.source
+        assert "wj_mpi_sendrecv_F64(env," in src
+        assert "env->mpi_allreduce_sum(env->h," in src
+        assert "env->mpi_barrier(env->h)" in src
+
+    def test_kernel_launch_is_loop_nest(self):
+        src = jit4gpu(Saxpy(2.0), "run", 16, 4, backend="c",
+                      use_cache=False).source
+        assert "env->kernel_begin(env->h);" in src
+        assert "env->kernel_end(env->h);" in src
+        assert "__g.tx" in src
+        assert "_dev(" in src  # device-mode specialization
+
+    def test_gpu_copies_metered(self):
+        src = jit4gpu(Saxpy(2.0), "run", 16, 4, backend="c",
+                      use_cache=False).source
+        assert "wj_gpu_copy_F32" in src
+
+    def test_output_labels_escaped(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 4), "run", 1)
+        assert 'wj_output_F32(env, "arr"' in src
+
+
+class TestNumericEmission:
+    def test_python_division_helpers(self):
+        from tests.guestlib_numeric import Numerics
+
+        src_fd = source(Numerics(), "floordiv", 7, 2)
+        assert "wj_floordiv_i64" in src_fd
+        src_m = source(Numerics(), "mod", 7, 2)
+        assert "wj_mod_i64" in src_m
+
+    def test_constant_arguments_fold_through_division(self):
+        from tests.guestlib_numeric import Numerics
+
+        # the recorded arguments are constants, so 7/2 folds at translation
+        src = source(Numerics(), "truediv", 7, 2)
+        assert "3.5" in src
+
+    def test_true_division_promotes_to_double(self):
+        import numpy as np
+
+        from tests.guestlib_diff import FloatOps
+
+        a = np.ones(4)
+        src = source(FloatOps(), "apply", a, a, a.copy(), 2)
+        assert "(double)" in src
+
+    def test_snap_size_exported(self):
+        src = source(Sweeper(ScaleAddSolver(0.5), 8), "run", 2)
+        assert "int64_t wj_snap_size(void)" in src
+        assert "void wj_entry(WjEnv* env" in src
+
+
+class TestCompileCache:
+    def test_so_cache_hit(self):
+        from repro.backends.cbackend.build import compile_shared_object
+        from repro.backends.base import OptLevel as OL
+
+        src = "int wj_cache_probe(void){ return 42; }"
+        p1, cached1 = compile_shared_object(src, OL.FULL)
+        p2, cached2 = compile_shared_object(src, OL.FULL)
+        assert p1 == p2
+        assert cached2 is True
+
+    def test_different_flags_different_artifacts(self):
+        from repro.backends.cbackend.build import compile_shared_object
+        from repro.backends.base import OptLevel as OL
+
+        src = "int wj_cache_probe2(void){ return 43; }"
+        p1, _ = compile_shared_object(src, OL.FULL)
+        p2, _ = compile_shared_object(src, OL.VIRTUAL)
+        assert p1 != p2

@@ -1,0 +1,35 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "WootinJ" in out
+        assert "C compiler" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("fig03", "fig17", "table3"):
+            assert exp in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_table(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["run", "table1_2"]) == 0
+        out = capsys.readouterr().out
+        assert "compiler options" in out
+        assert (tmp_path / "table1_2.txt").exists()
+
+    def test_translate_demo(self, capsys):
+        assert main(["translate-demo", "--backend", "py"]) == 0
+        out = capsys.readouterr().out
+        assert "wj_StencilCPU3D_run" in out

@@ -1,0 +1,105 @@
+"""Application composer (the paper's Listing-2 pattern) and chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro import jit, jit4mpi
+from repro.bench.harness import Series
+from repro.bench.plots import bar_chart, chart_for, line_chart
+from repro.errors import JitError
+from repro.library.stencil.app import PLATFORMS, compose_diffusion3d
+
+from tests.conftest import diffusion3d_reference
+
+
+class TestComposer:
+    def test_platform_selection(self):
+        for name, cls in PLATFORMS.items():
+            nranks = 2 if name.endswith("-mpi") else 1
+            app = compose_diffusion3d(8, 8, 8, platform=name, nranks=nranks)
+            assert isinstance(app.runner, cls)
+            assert app.uses_mpi == name.endswith("-mpi")
+            assert app.uses_gpu == name.startswith("gpu")
+
+    def test_validation(self):
+        with pytest.raises(JitError, match="platform"):
+            compose_diffusion3d(8, 8, 8, platform="fpga")
+        with pytest.raises(JitError, match="single-rank"):
+            compose_diffusion3d(8, 8, 8, platform="cpu", nranks=2)
+        with pytest.raises(JitError, match="divide"):
+            compose_diffusion3d(8, 8, 9, platform="cpu-mpi", nranks=2)
+        with pytest.raises(JitError, match="generator"):
+            compose_diffusion3d(8, 8, 8, generator="chaos")
+
+    def test_composed_cpu_runs(self, backend):
+        app = compose_diffusion3d(8, 8, 8)
+        res = jit(app.runner, "run", 2, backend=backend,
+                  use_cache=False).invoke()
+        ref = diffusion3d_reference(8, 8, 8, 2)
+        got = app.stitch(res.outputs)
+        assert np.allclose(got, ref[1:-1], atol=1e-5)
+
+    def test_composed_mpi_stitches(self, backend):
+        app = compose_diffusion3d(8, 8, 8, platform="cpu-mpi", nranks=4)
+        code = jit4mpi(app.runner, "run", 2, backend=backend, use_cache=False)
+        res = code.set4mpi(4).invoke()
+        ref = diffusion3d_reference(8, 8, 8, 2)
+        assert np.allclose(app.stitch(res.outputs), ref[1:-1], atol=1e-5)
+
+    def test_point_generator_conserves_mass(self, backend):
+        app = compose_diffusion3d(10, 10, 8, generator="point")
+        res = jit(app.runner, "run", 3, backend=backend,
+                  use_cache=False).invoke()
+        assert res.value == pytest.approx(1.0, abs=1e-3)
+
+
+class TestPlots:
+    def test_bar_chart_log_scale(self):
+        out = bar_chart(["a", "b"], [1.0, 1e-4])
+        assert "log scale" in out
+        assert out.splitlines()[0].startswith("a")
+
+    def test_bar_chart_linear(self):
+        out = bar_chart(["a", "b"], [1.0, 0.5])
+        assert "log scale" not in out
+
+    def test_line_chart_contains_marks(self):
+        out = line_chart([1, 2, 4], {"x": [1.0, 0.5, 0.25], "y": [2.0, 1.0, 0.5]})
+        assert "o" in out and "x=" not in out.splitlines()[0]
+        assert "(ranks)" in out
+
+    def test_chart_for_variant_series(self):
+        s = Series("figX", "t", ["variant", "seconds", "per_unit_ns", "vs_c"],
+                   [["java", 1.0, 1, 1], ["c-ref", 0.001, 1, 1]])
+        assert "java" in chart_for(s)
+
+    def test_chart_for_scaling_series(self):
+        s = Series("figY", "t", ["ranks", "c-ref_s", "wootinj_s", "wootinj_eff"],
+                   [[1, 0.1, 0.09, 1.0], [2, 0.06, 0.05, 0.9]])
+        out = chart_for(s)
+        assert "(ranks)" in out
+        assert "wootinj" in out
+
+    def test_chart_for_unknown_layout(self):
+        s = Series("t", "t", ["program", "x"], [["p", 1]])
+        assert chart_for(s) == ""
+
+
+class TestDeviceFnMarker:
+    def test_device_fn_blocked_on_host(self):
+        from repro.errors import LoweringError
+
+        from tests.guestlib_device import DeviceOnlyUser
+
+        with pytest.raises(LoweringError, match="device_fn"):
+            jit(DeviceOnlyUser(), "host_call", 1.0, backend="py",
+                use_cache=False)
+
+    def test_device_fn_fine_in_kernel(self, backend):
+        from repro import jit4gpu
+
+        from tests.guestlib_device import DeviceOnlyUser
+
+        res = jit4gpu(DeviceOnlyUser(), "run", 8, backend=backend,
+                      use_cache=False).invoke()
+        assert res.value == pytest.approx(sum(2.0 * i for i in range(8)))

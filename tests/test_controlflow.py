@@ -1,0 +1,96 @@
+"""Language-surface coverage: control flow, operators, numeric semantics.
+
+Every case runs through the JIT on each backend and is checked against the
+direct CPython execution of the same guest method — the two must agree
+because the guest library is plain Python (paper §4.4).
+"""
+
+import math
+
+import pytest
+
+from repro import jit
+
+from tests.guestlib import ControlFlow
+
+
+@pytest.fixture()
+def app():
+    return ControlFlow()
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6, 7, 27, 97])
+    def test_while_if_parity(self, backend, app, n):
+        got = jit(app, "collatz_steps", n, backend=backend).invoke().value
+        assert got == app.collatz_steps(n)
+
+    @pytest.mark.parametrize("x", [-3.5, -0.0, 0.0, 2.25])
+    def test_early_returns(self, backend, app, x):
+        got = jit(app, "classify", x, backend=backend).invoke().value
+        assert got == app.classify(x)
+
+    @pytest.mark.parametrize("n", [0, 1, 5, 16, 31])
+    def test_break_continue_step_ranges(self, backend, app, n):
+        got = jit(app, "loop_tricks", n, backend=backend).invoke().value
+        assert got == app.loop_tricks(n)
+
+    @pytest.mark.parametrize("a,b", [(0, 1), (1, 0), (5, 200), (0, 0), (-3, 4)])
+    def test_boolean_ops(self, backend, app, a, b):
+        got = jit(app, "bools", a, b, backend=backend).invoke().value
+        assert bool(got) == app.bools(a, b)
+
+    @pytest.mark.parametrize("x", [0.5, -1.5, 3.75, 100.0])
+    def test_math_builtins(self, backend, app, x):
+        got = jit(app, "math_mix", x, backend=backend).invoke().value
+        assert got == pytest.approx(app.math_mix(x), rel=1e-12)
+
+
+@pytest.mark.usefixtures("backend")
+class TestNumericSemantics:
+    """Python semantics survive translation: floor division and modulo
+    follow the sign of the divisor in both backends."""
+
+    def _run(self, backend, method, *args):
+        from tests import guestlib_numeric as gn
+
+        app = gn.Numerics()
+        got = jit(app, method, *args, backend=backend).invoke().value
+        ref = getattr(app, method)(*args)
+        return got, ref
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [(7, 2), (-7, 2), (7, -2), (-7, -2), (0, 5), (10, 3), (-10, 3)],
+    )
+    def test_floordiv(self, backend, a, b):
+        got, ref = self._run(backend, "floordiv", a, b)
+        assert got == ref
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [(7, 2), (-7, 2), (7, -2), (-7, -2), (10, 3), (-10, 3)],
+    )
+    def test_mod(self, backend, a, b):
+        got, ref = self._run(backend, "mod", a, b)
+        assert got == ref
+
+    @pytest.mark.parametrize("a,b", [(7.5, 2.0), (-7.5, 2.0), (7.5, -2.0)])
+    def test_float_mod(self, backend, a, b):
+        got, ref = self._run(backend, "fmod", a, b)
+        assert got == pytest.approx(ref, rel=1e-12)
+
+    @pytest.mark.parametrize("a,b", [(7, 2), (-9, 4), (1, 8)])
+    def test_true_division_is_float(self, backend, a, b):
+        got, ref = self._run(backend, "truediv", a, b)
+        assert got == pytest.approx(ref)
+        assert isinstance(got, float)
+
+    @pytest.mark.parametrize("x", [0.1, 1.5, -2.25])
+    def test_f32_rounding_matches_interpreter(self, backend, x):
+        got, ref = self._run(backend, "narrow_f32", x)
+        assert got == ref  # both round through IEEE float
+
+    def test_int_float_promotion(self, backend):
+        got, ref = self._run(backend, "promote", 3, 0.5)
+        assert got == pytest.approx(ref)

@@ -1,0 +1,149 @@
+"""Simulated CUDA device: memory-space isolation, launch semantics,
+barriers, shared memory."""
+
+import numpy as np
+import pytest
+
+from repro import CudaConfig, cuda, dim3
+from repro.cuda.device import SimulatedGpu
+from repro.errors import CudaError
+
+from tests.guestlib_cuda import (
+    BarrierOrderKernel,
+    GeometryProbe,
+    SharedAccumulator,
+)
+
+
+@pytest.fixture()
+def dev():
+    return SimulatedGpu(memory_bytes=1 << 20)
+
+
+class TestDeviceMemory:
+    def test_host_access_blocked(self, dev):
+        d = dev.copy_to_gpu(np.arange(4.0))
+        with pytest.raises(CudaError, match="host access"):
+            d[0]
+        with pytest.raises(CudaError, match="host access"):
+            d[0] = 1.0
+
+    def test_copy_roundtrip_is_isolated(self, dev):
+        host = np.arange(4.0)
+        d = dev.copy_to_gpu(host)
+        host[:] = -1  # mutating the host array must not affect the device
+        back = dev.copy_from_gpu(d)
+        assert np.allclose(back, np.arange(4.0))
+
+    def test_oom(self, dev):
+        with pytest.raises(CudaError, match="OOM"):
+            dev.copy_to_gpu(np.zeros(1 << 20))
+
+    def test_free_reclaims(self, dev):
+        d = dev.copy_to_gpu(np.zeros(1 << 15))
+        dev.free_gpu(d)
+        dev.copy_to_gpu(np.zeros(1 << 15))  # fits again
+
+    def test_double_free_rejected(self, dev):
+        d = dev.copy_to_gpu(np.zeros(8))
+        dev.free_gpu(d)
+        with pytest.raises(CudaError, match="double free"):
+            dev.free_gpu(d)
+
+    def test_use_after_free_rejected(self, dev):
+        d = dev.copy_to_gpu(np.zeros(8))
+        dev.free_gpu(d)
+        with pytest.raises(CudaError):
+            dev.copy_from_gpu(d)
+
+    def test_transfer_metering(self, dev):
+        dev.copy_to_gpu(np.zeros(100, dtype=np.float32))
+        assert dev.bytes_to_device == 400
+        d = dev.device_zeros(__import__("repro").f32, 10)
+        dev.copy_from_gpu(d)
+        assert dev.bytes_to_host == 40
+
+    def test_copy_direction_checks(self, dev):
+        d = dev.copy_to_gpu(np.zeros(4))
+        with pytest.raises(CudaError):
+            dev.copy_to_gpu(d)  # device array is not a host source
+        with pytest.raises(CudaError):
+            dev.copy_from_gpu(np.zeros(4))  # host array is not a device source
+
+
+class TestLaunch:
+    def test_full_grid_coverage(self, dev):
+        from repro import rt
+
+        rt.current.cuda_device = dev
+        try:
+            probe = GeometryProbe()
+            out = dev.copy_to_gpu(np.zeros(24, dtype=np.int64))
+            probe.mark(CudaConfig(dim3(2, 3, 1), dim3(4, 1, 1)), out)
+            got = dev.copy_from_gpu(out)
+            assert np.all(got == 1)  # every logical thread ran exactly once
+        finally:
+            rt.current.cuda_device = None
+
+    def test_bad_extent_rejected(self, dev):
+        from repro import rt
+
+        rt.current.cuda_device = dev
+        try:
+            probe = GeometryProbe()
+            out = dev.copy_to_gpu(np.zeros(4, dtype=np.int64))
+            with pytest.raises(CudaError, match="extent"):
+                probe.mark(CudaConfig(dim3(0, 1, 1), dim3(4, 1, 1)), out)
+        finally:
+            rt.current.cuda_device = None
+
+
+class TestBarriers:
+    def test_sync_threads_orders_phases(self, dev):
+        """Phase 1 writes, barrier, phase 2 reads a *different* thread's
+        value — only correct with real barrier semantics."""
+        from repro import rt
+
+        rt.current.cuda_device = dev
+        try:
+            n = 8
+            k = BarrierOrderKernel()
+            src = dev.copy_to_gpu(np.arange(n, dtype=np.float64))
+            dst = dev.copy_to_gpu(np.zeros(n, dtype=np.float64))
+            stage = dev.copy_to_gpu(np.zeros(n, dtype=np.float64))
+            k.reverse(CudaConfig(dim3(1, 1, 1), dim3(n, 1, 1)), src, stage, dst)
+            got = dev.copy_from_gpu(dst)
+            assert np.allclose(got, np.arange(n)[::-1])
+        finally:
+            rt.current.cuda_device = None
+
+    def test_shared_memory_is_per_block(self, dev):
+        """Each block accumulates into shared memory; blocks must not see
+        each other's partial sums."""
+        from repro import rt
+
+        rt.current.cuda_device = dev
+        try:
+            acc = SharedAccumulator(4, np.zeros(4))
+            data = dev.copy_to_gpu(np.arange(8, dtype=np.float64))
+            out = dev.copy_to_gpu(np.zeros(2, dtype=np.float64))
+            acc.block_sums(CudaConfig(dim3(2, 1, 1), dim3(4, 1, 1)), data, out)
+            got = dev.copy_from_gpu(out)
+            assert np.allclose(got, [0 + 1 + 2 + 3, 4 + 5 + 6 + 7])
+        finally:
+            rt.current.cuda_device = None
+
+    def test_cooperative_cap(self, dev):
+        from repro import rt
+
+        rt.current.cuda_device = dev
+        try:
+            k = BarrierOrderKernel()
+            n = SimulatedGpu.MAX_COOPERATIVE_BLOCK + 1
+            src = dev.copy_to_gpu(np.zeros(4, dtype=np.float64))
+            with pytest.raises(CudaError, match="cap"):
+                k.reverse(
+                    CudaConfig(dim3(1, 1, 1), dim3(n, 1, 1)), src, src, src
+                )
+        finally:
+            rt.current.cuda_device = None

@@ -1,0 +1,33 @@
+"""Every shipped example runs end-to-end (subprocess, real entry point)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.backends.cbackend import compiler_available
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    if not compiler_available():
+        pytest.skip("examples use the C backend")
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-3000:]
+    assert proc.stdout.strip()
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

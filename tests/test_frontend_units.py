@@ -1,0 +1,112 @@
+"""Frontend unit tests: source capture, ctor checking, lowering details."""
+
+import ast
+
+import numpy as np
+import pytest
+
+from repro import jit
+from repro.errors import CodingRuleViolation, LoweringError
+from repro.frontend.rules import check_ctor_source, check_method_source
+from repro.frontend.source import SourceInfo, method_ast
+
+from tests.guestlib import Pair, ScaleAddSolver, Sweeper
+from tests.guestlib_frontend import (
+    Annotated,
+    ChainedCompare,
+    ClassConstUser,
+    CtorChain,
+    StaticViaClassName,
+)
+
+
+class TestSourceCapture:
+    def test_method_ast_cached(self):
+        a = method_ast(Pair.plus)
+        b = method_ast(Pair.plus)
+        assert a is b
+        assert isinstance(a.tree, ast.FunctionDef)
+        assert a.tree.name == "plus"
+
+    def test_kernel_wrapper_unwrapped(self):
+        from tests.guestlib import Saxpy
+
+        info = method_ast(Saxpy.kernel)
+        assert info.tree.name == "kernel"
+        assert "bid_x" in ast.unparse(info.tree)
+
+    def test_where_has_file_and_line(self):
+        info = method_ast(Pair.plus)
+        where = info.where(info.tree.body[0])
+        assert "guestlib.py" in where
+        assert ":" in where
+
+    def test_unavailable_source_rejected(self):
+        exec_ns = {}
+        exec("def f(self):\n    return 1\n", exec_ns)
+        with pytest.raises(LoweringError, match="source"):
+            SourceInfo(exec_ns["f"])
+
+
+class TestCtorChecks:
+    def test_super_init_allowed(self):
+        check_ctor_source(method_ast(ScaleAddSolver.__init__))
+
+    def test_plain_ctor_allowed(self):
+        check_ctor_source(method_ast(Pair.__init__))
+
+    def test_method_source_check_allows_normal_code(self):
+        check_method_source(method_ast(Sweeper.run))
+
+
+class TestLoweringDetails:
+    def test_chained_comparisons(self, backend):
+        app = ChainedCompare()
+        for x in (-5, 0, 3, 10, 20):
+            got = jit(app, "inside", x, backend=backend).invoke().value
+            assert bool(got) == app.inside(x)
+
+    def test_class_constants_via_self(self, backend):
+        app = ClassConstUser()
+        assert jit(app, "scaled", 2.0, backend=backend).invoke().value == \
+            pytest.approx(app.scaled(2.0))
+
+    def test_class_constants_via_class_name(self, backend):
+        app = StaticViaClassName()
+        assert jit(app, "read", backend=backend).invoke().value == 42
+
+    def test_ann_assign_declares_type(self, backend):
+        app = Annotated()
+        got = jit(app, "narrowing", 0.1, backend=backend).invoke().value
+        assert got == pytest.approx(app.narrowing(0.1))
+
+    def test_ctor_chain_inherits_and_overrides(self, backend):
+        app = CtorChain(3.0)
+        got = jit(app, "describe", backend=backend).invoke().value
+        assert got == pytest.approx(app.describe())
+
+    def test_augmented_assignment_on_elements(self, backend):
+        from tests.guestlib_frontend import AugAssigner
+
+        a = np.arange(6.0)
+        res = jit(AugAssigner(), "bump", a, backend=backend,
+                  use_cache=False).invoke()
+        assert np.allclose(res.outputs[0]["a"], np.arange(6.0) * 3 + 1)
+
+    def test_keyword_arguments_rejected(self):
+        from tests.guestlib_frontend import KeywordCaller
+
+        with pytest.raises(LoweringError, match="keyword"):
+            jit(KeywordCaller(), "run", backend="py", use_cache=False)
+
+    def test_unknown_method_on_component(self):
+        from tests.guestlib_frontend import BadMethodCaller
+
+        with pytest.raises(LoweringError, match="no method"):
+            jit(BadMethodCaller(), "run", backend="py", use_cache=False)
+
+    def test_wrong_arity_rejected(self):
+        from tests.guestlib_frontend import WrongArity
+
+        with pytest.raises(LoweringError, match="argument"):
+            jit(WrongArity(), "run", backend="py", use_cache=False)

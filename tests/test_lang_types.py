@@ -1,0 +1,117 @@
+"""Guest type system: promotion, annotation resolution, class registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LoweringError
+from repro.lang import Array, boolean, f32, f64, i32, i64, shared, wootin
+from repro.lang import types as _t
+from repro.lang.types import (
+    ArrayType,
+    prim_for_dtype,
+    promote,
+    resolve_annotation,
+    wootin_info,
+)
+
+
+class TestPrimTypes:
+    def test_cast_semantics(self):
+        assert f32(0.1) == float(np.float32(0.1))
+        assert i64(3.9) == 3
+        assert i32(-1.5) == -1
+        assert boolean(2) is True
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (i32, i64, i64),
+            (i64, f32, f32),
+            (f32, f64, f64),
+            (i64, i64, i64),
+            (boolean, i32, i32),
+        ],
+    )
+    def test_promotion(self, a, b, expected):
+        assert promote(a, b) is expected
+        assert promote(b, a) is expected
+
+    def test_dtype_mapping_roundtrip(self):
+        for ty in (f32, f64, i32, i64):
+            assert prim_for_dtype(ty.np_dtype) is ty
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(LoweringError):
+            prim_for_dtype(np.complex128)
+
+
+class TestArrayType:
+    def test_interned(self):
+        assert Array(f32) is Array(f32)
+        assert Array(f32) is not Array(f64)
+
+    def test_from_python_builtin(self):
+        assert Array(float) is Array(f64)
+        assert Array(int).elem is i64
+
+
+class TestAnnotations:
+    def test_builtin_aliases(self):
+        assert resolve_annotation(int) is i64
+        assert resolve_annotation(float) is f64
+        assert resolve_annotation(bool) is boolean
+        assert resolve_annotation(None) is _t.VOID
+
+    def test_framework_objects_pass_through(self):
+        assert resolve_annotation(f32) is f32
+        assert resolve_annotation(Array(f64)) is Array(f64)
+
+    def test_shared_unwraps(self):
+        assert resolve_annotation(shared(Array(f32))) is Array(f32)
+
+    def test_wootin_class(self):
+        from tests.guestlib import Pair
+
+        ty = resolve_annotation(Pair)
+        assert isinstance(ty, _t.ClassType)
+        assert ty.info is wootin_info(Pair)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(LoweringError):
+            resolve_annotation(dict)
+
+
+class TestRegistry:
+    def test_hierarchy_links(self):
+        from tests.guestlib import ScaleAddSolver, Solver
+
+        base = wootin_info(Solver)
+        sub = wootin_info(ScaleAddSolver)
+        assert sub in base.subclasses
+        assert sub.bases == [base]
+        assert not base.final
+        assert sub.final
+        assert sub.is_subclass_of(base)
+        assert not base.is_subclass_of(sub)
+
+    def test_method_inheritance(self):
+        from repro.library.stencil import StencilCPU3D_MPI
+
+        info = wootin_info(StencilCPU3D_MPI)
+        assert info.find_method("compute").owner.name == "StencilCPU3D"
+        assert info.find_method("exchange").owner.name == "StencilCPU3D_MPI"
+        assert "compute" in info.all_methods()
+
+    def test_shared_fields_recorded(self):
+        from repro.library.matmul import TiledGpuCalculator
+
+        info = wootin_info(TiledGpuCalculator)
+        assert info.shared_fields == {"asub", "bsub"}
+        assert info.field_decls["asub"] is Array(f64)
+
+    def test_descendants(self):
+        from repro.library.stencil import StencilRunner
+
+        info = wootin_info(StencilRunner)
+        names = {c.name for c in info.descendants()}
+        assert {"StencilCPU3D", "StencilCPU3D_MPI", "StencilGPU3D"} <= names

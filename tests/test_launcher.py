@@ -1,0 +1,72 @@
+"""mpirun launcher behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import MPI, mpirun
+from repro.mpi.netmodel import LOCAL_NET
+
+
+class TestLauncher:
+    def test_thread_local_context_binding(self):
+        """Guest-style MPI statics work inside the body without plumbing."""
+
+        def body(ctx):
+            assert MPI.rank() == ctx.rank
+            assert MPI.size() == ctx.size
+            return MPI.rank()
+
+        res = mpirun(3, body, net=LOCAL_NET)
+        assert res.returns == [0, 1, 2]
+
+    def test_context_unbound_after_run(self):
+        mpirun(2, lambda ctx: None, net=LOCAL_NET)
+        assert MPI.rank() == 0
+        assert MPI.size() == 1
+
+    def test_outputs_collected_per_rank(self):
+        from repro.lang import wj
+
+        def body(ctx):
+            wj.output("tag", np.full(2, float(ctx.rank)))
+
+        res = mpirun(3, body, net=LOCAL_NET)
+        for r in range(3):
+            assert np.allclose(res.outputs[r]["tag"], r)
+
+    def test_exception_propagates_with_rank(self):
+        def body(ctx):
+            if ctx.rank == 1:
+                raise ValueError("boom")
+            ctx.comm.barrier(ctx)
+
+        with pytest.raises(MpiError, match="rank 1 failed"):
+            mpirun(2, body, net=LOCAL_NET)
+
+    def test_sim_wall_clock_is_max(self):
+        def body(ctx):
+            if ctx.rank == 0:
+                x = 0.0
+                for i in range(100000):
+                    x += i
+            ctx.clock.sync_cpu()
+            return ctx.clock.t
+
+        res = mpirun(2, body, net=LOCAL_NET)
+        assert res.sim_wall_clock == pytest.approx(max(res.clocks))
+        assert res.clocks[0] >= res.clocks[1]
+
+    def test_gpu_model_plumbed(self):
+        from repro.cuda.perf import GpuModel
+
+        def body(ctx):
+            return ctx.gpu_model
+
+        model = GpuModel(emulation_speedup=7.0)
+        res = mpirun(2, body, net=LOCAL_NET, gpu_model=model)
+        assert all(m is model for m in res.returns)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(MpiError):
+            mpirun(0, lambda ctx: None)

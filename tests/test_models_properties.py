@@ -1,0 +1,140 @@
+"""Property-based tests on the analytic models (network, GPU) and shapes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda.perf import GpuModel, M2050_MODEL
+from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape, merge_shapes
+from repro.lang import types as _t
+from repro.mpi.netmodel import LOCAL_NET, TSUBAME_NET, NetworkModel
+
+nbytes_st = st.integers(min_value=0, max_value=1 << 32)
+ranks_st = st.integers(min_value=1, max_value=4096)
+
+
+class TestNetworkModel:
+    @given(nbytes_st, nbytes_st)
+    def test_ptp_monotone_in_bytes(self, a, b):
+        lo, hi = sorted((a, b))
+        assert TSUBAME_NET.ptp_time(lo) <= TSUBAME_NET.ptp_time(hi)
+
+    @given(nbytes_st)
+    def test_ptp_at_least_latency(self, n):
+        assert TSUBAME_NET.ptp_time(n) >= TSUBAME_NET.latency_s
+
+    @given(nbytes_st, ranks_st, ranks_st)
+    def test_collectives_monotone_in_ranks(self, n, p1, p2):
+        lo, hi = sorted((p1, p2))
+        for fn in ("bcast_time", "allreduce_time", "reduce_time"):
+            assert getattr(TSUBAME_NET, fn)(n, lo) <= getattr(TSUBAME_NET, fn)(n, hi)
+
+    @given(ranks_st)
+    def test_log_rounds(self, p):
+        assert TSUBAME_NET._rounds(p) == max(0, math.ceil(math.log2(p)))
+
+    def test_single_rank_collectives_free(self):
+        assert TSUBAME_NET.barrier_time(1) == 0
+        assert TSUBAME_NET.bcast_time(1 << 20, 1) == 0
+
+    @given(nbytes_st)
+    def test_faster_fabric_is_faster(self, n):
+        assert LOCAL_NET.ptp_time(n) <= TSUBAME_NET.ptp_time(n)
+
+    @given(nbytes_st, ranks_st)
+    def test_gather_at_least_one_message(self, n, p):
+        if p > 1:
+            assert TSUBAME_NET.gather_time(n, p) >= TSUBAME_NET.ptp_time(n)
+
+
+class TestGpuModel:
+    @given(st.floats(min_value=0, max_value=1e3))
+    def test_kernel_time_monotone(self, work):
+        m = M2050_MODEL
+        assert m.kernel_time(work) >= m.launch_overhead_s
+        assert m.kernel_time(work * 2) >= m.kernel_time(work)
+
+    @given(st.floats(min_value=1e-9, max_value=1e3))
+    def test_speedup_divides_work(self, work):
+        fast = GpuModel(emulation_speedup=100.0)
+        slow = GpuModel(emulation_speedup=10.0)
+        assert fast.kernel_time(work) < slow.kernel_time(work)
+
+    @given(nbytes_st)
+    def test_transfer_monotone(self, n):
+        m = M2050_MODEL
+        assert m.transfer_time(n + 1024) >= m.transfer_time(n)
+
+
+def prim_shapes():
+    return st.one_of(
+        st.builds(PrimShape, st.just(_t.I64), st.integers(-100, 100) | st.none()),
+        st.builds(PrimShape, st.just(_t.F64),
+                  st.floats(-10, 10, allow_nan=False) | st.none()),
+        st.builds(PrimShape, st.just(_t.F32),
+                  st.sampled_from([None, 0.5, 1.0, -2.0])),
+    )
+
+
+class TestShapeMerge:
+    @given(prim_shapes())
+    def test_merge_idempotent(self, s):
+        m = merge_shapes(s, s)
+        assert m.ty is s.ty
+        assert m.const == s.const
+
+    @given(prim_shapes(), prim_shapes())
+    def test_merge_commutative_when_defined(self, a, b):
+        if a.ty is not b.ty:
+            return
+        m1 = merge_shapes(a, b)
+        m2 = merge_shapes(b, a)
+        assert m1.ty is m2.ty
+        assert m1.const == m2.const
+
+    @given(prim_shapes(), prim_shapes())
+    def test_merge_only_keeps_agreeing_constants(self, a, b):
+        if a.ty is not b.ty:
+            return
+        m = merge_shapes(a, b)
+        if m.const is not None:
+            assert m.const == a.const == b.const
+
+    def test_prim_type_conflict_raises(self):
+        from repro.errors import TypeFlowError
+
+        with pytest.raises(TypeFlowError):
+            merge_shapes(PrimShape(_t.I64), PrimShape(_t.F64))
+
+    def test_array_slot_merge(self):
+        at = _t.ArrayType(_t.F32)
+        same = merge_shapes(ArrayShape(at, 3), ArrayShape(at, 3))
+        assert same.slot == 3
+        diff = merge_shapes(ArrayShape(at, 3), ArrayShape(at, 4))
+        assert diff.slot is None
+
+    def test_object_class_conflict_raises(self):
+        from repro.errors import TypeFlowError
+        from repro.lang.types import wootin_info
+        from tests.guestlib import ScaleAddSolver, SquareSolver
+
+        a = ObjShape(wootin_info(ScaleAddSolver), {"a": PrimShape(_t.F32, 0.5)},
+                     root_path="self.s1")
+        b = ObjShape(wootin_info(SquareSolver), {}, root_path="self.s2")
+        with pytest.raises(TypeFlowError):
+            merge_shapes(a, b)
+
+    def test_snapshot_identity_merge(self):
+        from repro.lang.types import wootin_info
+        from tests.guestlib import ScaleAddSolver
+
+        info = wootin_info(ScaleAddSolver)
+        a = ObjShape(info, {"a": PrimShape(_t.F32, 0.5)}, root_path="self.s")
+        same = merge_shapes(a, a)
+        assert same.root_path == "self.s"
+        b = ObjShape(info, {"a": PrimShape(_t.F32, 0.75)}, root_path="self.t")
+        merged = merge_shapes(a, b)
+        assert merged.root_path is None  # degraded to a dynamic value
+        assert merged.fields["a"].const is None

@@ -1,0 +1,35 @@
+"""Behaviour when no C compiler exists: auto falls back to the Python
+backend; the C backend fails with a clear error."""
+
+import pytest
+
+from repro import jit
+from repro.errors import CompilationUnavailable
+
+from tests.guestlib import ScaleAddSolver, Sweeper
+
+
+@pytest.fixture()
+def no_cc(monkeypatch):
+    import repro.backends.cbackend.build as build
+
+    monkeypatch.setattr(build, "_find_cc", lambda: None)
+    monkeypatch.delenv("CC", raising=False)
+    return build
+
+
+class TestFallback:
+    def test_compiler_available_reports_false(self, no_cc):
+        assert no_cc.compiler_available() is False
+        assert no_cc.cc_version() == "none"
+
+    def test_auto_backend_falls_back_to_python(self, no_cc):
+        code = jit(Sweeper(ScaleAddSolver(0.5), 4), "run", 1, backend="auto",
+                   use_cache=False)
+        assert code.report.backend == "py"
+        assert code.invoke().value is not None
+
+    def test_explicit_c_backend_fails_clearly(self, no_cc):
+        with pytest.raises(CompilationUnavailable, match="compiler"):
+            jit(Sweeper(ScaleAddSolver(0.5), 4), "run", 1, backend="c",
+                use_cache=False)

@@ -1,0 +1,83 @@
+"""Guest programs that use the MPI and CUDA platform surfaces end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro import jit, jit4gpu, jit4mpi
+from repro.mpi.netmodel import LOCAL_NET
+
+from tests.guestlib import FfiUser, RingExchanger, Saxpy
+
+
+class TestFfi:
+    """The paper's foreign-function interface: a guest call becomes a
+    direct C call, with the Python body serving interpretation."""
+
+    @pytest.mark.parametrize("x", [-3.0, 0.2, 5.0])
+    def test_matches_python_body(self, backend, x):
+        app = FfiUser()
+        got = jit(app, "run", x, backend=backend).invoke().value
+        assert got == pytest.approx(app.run(x))
+
+    def test_c_source_calls_directly(self):
+        pytest.importorskip("ctypes")
+        from repro.backends.cbackend import compiler_available
+
+        if not compiler_available():
+            pytest.skip("no cc")
+        code = jit(FfiUser(), "run", 1.0, backend="c", use_cache=False)
+        assert "wj_test_clamp(" in code.source
+
+
+class TestMpiGuest:
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_ring_rotation(self, backend, p):
+        app = RingExchanger(4)
+        code = jit4mpi(app, "run", 3, backend=backend, use_cache=False)
+        code.set4mpi(p, net=LOCAL_NET)
+        res = code.invoke()
+        if p == 1:
+            # no exchange happens; buf stays rank value 0
+            assert res.value == pytest.approx(0.0)
+        else:
+            # after 3 rotations each buf[i] = ((rank-3) % p) + 3
+            expected = sum(((r - 3) % p) + 3 for r in range(p))
+            assert res.value == pytest.approx(expected)
+            for r in range(p):
+                want = ((r - 3) % p) + 3
+                assert np.allclose(res.outputs[r]["buf"], want)
+
+    def test_sim_clock_grows_with_ranks(self, backend):
+        times = []
+        for p in (2, 8):
+            app = RingExchanger(1024)
+            code = jit4mpi(app, "run", 4, backend=backend, use_cache=False)
+            res = code.set4mpi(p).invoke()
+            times.append(res.sim_time)
+        assert times[1] > 0
+        # comm cost is accounted per rank
+        assert all(t > 0 for t in times)
+
+
+class TestCudaGuest:
+    def test_saxpy(self, backend):
+        app = Saxpy(2.0)
+        res = jit4gpu(app, "run", 16, 4, backend=backend, use_cache=False).invoke()
+        expected = np.arange(16) * 2.0 + 1.0
+        assert np.allclose(res.output("y"), expected)
+        assert res.value == pytest.approx(expected.sum())
+
+    def test_device_time_metered(self, backend):
+        app = Saxpy(2.0)
+        code = jit4gpu(app, "run", 64, 8, backend=backend, use_cache=False)
+        res = code.invoke()
+        assert res.device_times[0] > 0
+
+    def test_gpu_model_shrinks_device_time(self, backend):
+        from repro.cuda.perf import GpuModel
+
+        app = Saxpy(2.0)
+        code = jit4gpu(app, "run", 2048, 32, backend=backend, use_cache=False)
+        slow = code.set_gpu(GpuModel(emulation_speedup=1.0)).invoke()
+        fast = code.set_gpu(GpuModel(emulation_speedup=1000.0)).invoke()
+        assert fast.device_times[0] < slow.device_times[0]

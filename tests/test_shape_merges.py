@@ -1,0 +1,46 @@
+"""Translated behaviour of merged/degraded object shapes — the hardest
+corner of the shape analysis: locals that may reference either of two
+snapshot objects, loop-carried object locals, and method returns merging
+branches."""
+
+import numpy as np
+import pytest
+
+from repro import jit
+
+from tests.guestlib_merge import Chooser, CondLocal, Weight
+
+
+@pytest.fixture()
+def app():
+    return Chooser(Weight(2.0, 1.0), Weight(-3.0, 0.5))
+
+
+class TestBranchMergedSnapshotObjects:
+    @pytest.mark.parametrize("use_a", [0, 1])
+    def test_pick_apply(self, backend, app, use_a):
+        got = jit(app, "pick_apply", 5.0, use_a, backend=backend,
+                  use_cache=False).invoke().value
+        assert got == pytest.approx(app.pick_apply(5.0, use_a))
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 8])
+    def test_loop_carried_object_local(self, backend, app, n):
+        got = jit(app, "loop_swap", 1.5, n, backend=backend,
+                  use_cache=False).invoke().value
+        assert got == pytest.approx(app.loop_swap(1.5, n))
+
+    @pytest.mark.parametrize("use_a", [0, 1])
+    def test_merged_return_shape(self, backend, app, use_a):
+        got = jit(app, "dynamic_return", use_a, backend=backend,
+                  use_cache=False).invoke().value
+        assert got == pytest.approx(app.dynamic_return(use_a))
+
+
+class TestConditionallyAssignedLocals:
+    @pytest.mark.parametrize("flag", [-1, 0, 2])
+    def test_definite_assignment_across_branches(self, backend, flag):
+        a = np.array([7.5])
+        app = CondLocal()
+        got = jit(app, "maybe", flag, a, backend=backend,
+                  use_cache=False).invoke().value
+        assert got == pytest.approx(app.maybe(flag, a))

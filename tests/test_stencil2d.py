@@ -1,0 +1,111 @@
+"""2-D stencil feature (Dimension=2 of the paper's Fig. 1 feature model)."""
+
+import numpy as np
+import pytest
+
+from repro import jit, jit4mpi
+from repro.library.stencil import EmptyContext
+from repro.library.stencil.dim2 import (
+    Dif2DSolver,
+    JacobiResidual2D,
+    Sine2DGen,
+    StencilCPU2D,
+    StencilCPU2D_MPI,
+    TwoDIndexer,
+)
+from repro.library.stencil.grid import FloatGridDblB
+from repro.mpi.netmodel import LOCAL_NET
+
+NX, NYG = 10, 8
+CC, CW, CH = np.float32(0.6), np.float32(0.1), np.float32(0.1)
+
+
+def sine2d(nx, ny_interior):
+    y = np.arange(ny_interior + 2) - 1
+    x = np.arange(nx)
+    yy, xx = np.meshgrid(y, x, indexing="ij")
+    return (
+        np.sin(np.pi * (xx + 1.0) / (nx + 1.0))
+        * np.sin(np.pi * (yy + 1.0) / (ny_interior + 1.0))
+    ).astype(np.float32)
+
+
+def reference(steps):
+    a = sine2d(NX, NYG)
+    b = a.copy()
+    for _ in range(steps):
+        b[1:-1, 1:-1] = (
+            CC * a[1:-1, 1:-1]
+            + CW * (a[1:-1, :-2] + a[1:-1, 2:])
+            + CH * (a[:-2, 1:-1] + a[2:, 1:-1])
+        )
+        a, b = b, a
+    return a
+
+
+def build(cls, nranks):
+    nyl = NYG // nranks
+    n = NX * (nyl + 2)
+    return cls(
+        Dif2DSolver(float(CC), float(CW), float(CH)),
+        FloatGridDblB(np.zeros(n, np.float32), np.zeros(n, np.float32)),
+        TwoDIndexer(NX, nyl + 2),
+        Sine2DGen(NX, nyl, nranks),
+        EmptyContext(),
+    )
+
+
+class TestSequential2D:
+    def test_matches_reference(self, backend):
+        app = build(StencilCPU2D, 1)
+        res = jit(app, "run", 3, backend=backend, use_cache=False).invoke()
+        got = res.output("grid").reshape(NYG + 2, NX)
+        ref = reference(3)
+        assert np.allclose(got[1:-1], ref[1:-1], atol=1e-5)
+        assert res.value == pytest.approx(float(ref[1:-1, 1:-1].sum()), rel=1e-4)
+
+    def test_interpreted(self):
+        import repro.rt as rt
+
+        app = build(StencilCPU2D, 1)
+        value = app.run(3)
+        rt.current.take_outputs()
+        ref = reference(3)
+        assert value == pytest.approx(float(ref[1:-1, 1:-1].sum()), rel=1e-4)
+
+
+class TestMpi2D:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_row_halo_exchange(self, backend, p):
+        app = build(StencilCPU2D_MPI, p)
+        code = jit4mpi(app, "run", 3, backend=backend, use_cache=False)
+        res = code.set4mpi(p, net=LOCAL_NET).invoke()
+        nyl = NYG // p
+        slabs = [
+            res.outputs[r]["grid"].reshape(nyl + 2, NX)[1:-1] for r in range(p)
+        ]
+        got = np.concatenate(slabs, axis=0)
+        ref = reference(3)
+        assert np.allclose(got, ref[1:-1], atol=1e-5)
+
+
+class TestJacobiConvergence:
+    def test_converges_and_reports(self, backend):
+        app = build(JacobiResidual2D, 2)
+        code = jit4mpi(app, "run_until", 1e-8, 500, backend=backend,
+                       use_cache=False)
+        res = code.set4mpi(2, net=LOCAL_NET).invoke()
+        steps, residual = res.outputs[0]["convergence"]
+        assert 0 < steps < 500          # converged before the cap
+        assert residual <= 1e-8
+        # both ranks agree on the convergence record
+        assert np.allclose(res.outputs[0]["convergence"],
+                           res.outputs[1]["convergence"])
+
+    def test_cap_respected(self, backend):
+        app = build(JacobiResidual2D, 1)
+        code = jit4mpi(app, "run_until", 0.0, 7, backend=backend,
+                       use_cache=False)
+        res = code.set4mpi(1).invoke()
+        steps, _ = res.outputs[0]["convergence"]
+        assert steps == 7  # eps=0 never converges; the cap stops it

@@ -1,0 +1,130 @@
+"""Stencil class library: every runner × every backend vs the NumPy
+reference, including interpreted ("Java-mode") execution."""
+
+import numpy as np
+import pytest
+
+from repro import jit, jit4gpu, jit4mpi
+from repro.library.stencil import (
+    Dif1DSolver,
+    EmptyContext,
+    FloatGridDblB,
+    SineGen,
+    StencilCPU1D,
+    StencilCPU3D,
+    StencilCPU3D_MPI,
+    StencilGPU3D,
+    StencilGPU3D_MPI,
+    ThreeDIndexer,
+)
+from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+from repro.mpi.netmodel import LOCAL_NET
+
+from tests.conftest import diffusion3d_reference, stitch_grids
+
+NX, NY, NZG = 8, 8, 8
+STEPS = 3
+
+
+def build3d(cls, nranks):
+    nzl = NZG // nranks
+    return cls(
+        make_dif3d_solver(),
+        make_grid3d(NX, NY, nzl + 2),
+        ThreeDIndexer(NX, NY, nzl + 2),
+        SineGen(NX, NY, nzl, nranks),
+        EmptyContext(),
+    )
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return diffusion3d_reference(NX, NY, NZG, STEPS)
+
+
+class TestSequential3D:
+    def test_translated(self, backend, ref):
+        app = build3d(StencilCPU3D, 1)
+        res = jit(app, "run", STEPS, backend=backend, use_cache=False).invoke()
+        got = res.output("grid").reshape(NZG + 2, NY, NX)
+        assert np.allclose(got[1:-1], ref[1:-1], atol=1e-5)
+        assert res.value == pytest.approx(
+            float(ref[1:-1, 1:-1, 1:-1].sum()), rel=1e-4
+        )
+
+    def test_interpreted_java_mode(self, ref):
+        import repro.rt as rt
+
+        app = build3d(StencilCPU3D, 1)
+        value = app.run(STEPS)
+        outs = rt.current.take_outputs()
+        got = outs["grid"].reshape(NZG + 2, NY, NX)
+        assert np.allclose(got[1:-1], ref[1:-1], atol=1e-5)
+        assert value == pytest.approx(float(ref[1:-1, 1:-1, 1:-1].sum()), rel=1e-4)
+
+
+class TestMpi3D:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_halo_exchange_matches_sequential(self, backend, ref, p):
+        app = build3d(StencilCPU3D_MPI, p)
+        code = jit4mpi(app, "run", STEPS, backend=backend, use_cache=False)
+        res = code.set4mpi(p, net=LOCAL_NET).invoke()
+        got = stitch_grids(res.outputs, p, NX, NY, NZG // p)
+        assert np.allclose(got, ref[1:-1], atol=1e-5)
+        assert res.value == pytest.approx(
+            float(ref[1:-1, 1:-1, 1:-1].sum()), rel=1e-4
+        )
+
+    def test_single_rank_degenerates_to_sequential(self, backend, ref):
+        app = build3d(StencilCPU3D_MPI, 1)
+        code = jit4mpi(app, "run", STEPS, backend=backend, use_cache=False)
+        res = code.set4mpi(1).invoke()
+        got = res.output("grid").reshape(NZG + 2, NY, NX)
+        assert np.allclose(got[1:-1], ref[1:-1], atol=1e-5)
+
+
+class TestGpu3D:
+    def test_device_resident_sweep(self, backend, ref):
+        app = build3d(StencilGPU3D, 1)
+        res = jit4gpu(app, "run", STEPS, backend=backend, use_cache=False).invoke()
+        got = res.output("grid").reshape(NZG + 2, NY, NX)
+        assert np.allclose(got[1:-1], ref[1:-1], atol=1e-5)
+
+    @pytest.mark.parametrize("p", [2])
+    def test_gpu_plus_mpi(self, backend, ref, p):
+        app = build3d(StencilGPU3D_MPI, p)
+        code = jit4mpi(app, "run", STEPS, backend=backend, use_cache=False)
+        res = code.set4mpi(p, net=LOCAL_NET).invoke()
+        got = stitch_grids(res.outputs, p, NX, NY, NZG // p)
+        assert np.allclose(got, ref[1:-1], atol=1e-5)
+        assert all(t > 0 for t in res.device_times)
+
+    def test_interpreted_on_simulated_device(self, ref):
+        import repro.rt as rt
+
+        app = build3d(StencilGPU3D, 1)
+        value = app.run(STEPS)
+        rt.current.take_outputs()
+        assert value == pytest.approx(float(ref[1:-1, 1:-1, 1:-1].sum()), rel=1e-4)
+
+
+class TestStencil1D:
+    def test_dif1d_listing1(self, backend):
+        n = 16
+        front = np.zeros(n, dtype=np.float32)
+        front[n // 2] = 1.0
+        app = StencilCPU1D(
+            Dif1DSolver(0.25, 0.5),
+            FloatGridDblB(front, front.copy()),
+            EmptyContext(),
+            n,
+        )
+        res = jit(app, "run", 4, backend=backend, use_cache=False).invoke()
+        a = front.copy()
+        b = front.copy()
+        for _ in range(4):
+            for x in range(1, n - 1):
+                b[x] = np.float32(0.25) * (a[x - 1] + a[x + 1]) + np.float32(0.5) * a[x]
+            a, b = b, a
+        assert np.allclose(res.output("grid"), a, atol=1e-6)
+        assert res.value == pytest.approx(float(a[1:-1].sum()), rel=1e-5)

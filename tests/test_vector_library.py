@@ -1,0 +1,99 @@
+"""Distributed vector (BLAS-1) library."""
+
+import numpy as np
+import pytest
+
+from repro import jit, jit4gpu, jit4mpi
+from repro.library.vector import (
+    AxpyKernel,
+    CpuVectorEngine,
+    DotKernel,
+    GpuVectorEngine,
+    MpiVectorEngine,
+    Norm2Kernel,
+    ScaleKernel,
+)
+from repro.mpi.netmodel import LOCAL_NET
+
+
+def seeded_vec(n, seed, offset=0):
+    i = np.arange(offset, offset + n)
+    state = ((i + 1) * (seed + 7)) % 2147483648
+    state = (state * 1103515245 + 12345) % 2147483648
+    return state / 2147483648.0 - 0.5
+
+
+@pytest.fixture()
+def xy():
+    rng = np.random.default_rng(5)
+    return rng.random(16) - 0.5, rng.random(16) - 0.5
+
+
+class TestCpuEngine:
+    def test_axpy(self, backend, xy):
+        x, y = xy
+        app = CpuVectorEngine(AxpyKernel(2.0))
+        res = jit(app, "run", x.copy(), y.copy(), backend=backend,
+                  use_cache=False).invoke()
+        expected = 2.0 * x + y
+        assert np.allclose(res.outputs[0]["x"], expected)
+        assert res.value == pytest.approx(expected.sum())
+
+    def test_dot(self, backend, xy):
+        x, y = xy
+        app = CpuVectorEngine(DotKernel())
+        res = jit(app, "run", x.copy(), y.copy(), backend=backend,
+                  use_cache=False).invoke()
+        assert res.value == pytest.approx(float(x @ y))
+        assert np.allclose(res.outputs[0]["x"], x)  # dot does not mutate
+
+    def test_norm_finish(self, backend, xy):
+        x, y = xy
+        app = CpuVectorEngine(Norm2Kernel())
+        res = jit(app, "run", x.copy(), y.copy(), backend=backend,
+                  use_cache=False).invoke()
+        assert res.value == pytest.approx(float(np.linalg.norm(x)))
+
+    def test_scale(self, backend, xy):
+        x, y = xy
+        app = CpuVectorEngine(ScaleKernel(-0.5))
+        res = jit(app, "run", x.copy(), y.copy(), backend=backend,
+                  use_cache=False).invoke()
+        assert np.allclose(res.outputs[0]["x"], -0.5 * x)
+
+
+class TestMpiEngine:
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_distributed_dot(self, backend, p):
+        nl = 8
+        app = MpiVectorEngine(DotKernel())
+        code = jit4mpi(app, "run", np.zeros(nl), np.zeros(nl),
+                       backend=backend, use_cache=False)
+        res = code.set4mpi(p, net=LOCAL_NET).invoke()
+        gx = seeded_vec(nl * p, 1)
+        gy = seeded_vec(nl * p, 2)
+        assert res.value == pytest.approx(float(gx @ gy))
+        for r in range(p):
+            assert np.allclose(res.outputs[r]["x"],
+                               seeded_vec(nl, 1, offset=r * nl))
+
+    def test_distributed_norm(self, backend):
+        nl, p = 8, 4
+        app = MpiVectorEngine(Norm2Kernel())
+        code = jit4mpi(app, "run", np.zeros(nl), np.zeros(nl),
+                       backend=backend, use_cache=False)
+        res = code.set4mpi(p, net=LOCAL_NET).invoke()
+        gx = seeded_vec(nl * p, 1)
+        assert res.value == pytest.approx(float(np.linalg.norm(gx)))
+
+
+class TestGpuEngine:
+    def test_fused_axpy_reduction(self, backend, xy):
+        x, y = xy
+        app = GpuVectorEngine(AxpyKernel(3.0), 4)
+        res = jit4gpu(app, "run", x.copy(), y.copy(), backend=backend,
+                      use_cache=False).invoke()
+        expected = 3.0 * x + y
+        assert np.allclose(res.outputs[0]["x"], expected)
+        assert res.value == pytest.approx(expected.sum())
+        assert res.device_times[0] > 0

@@ -1,0 +1,83 @@
+"""IR verifier and optimization statistics."""
+
+import pytest
+
+from repro import jit, jit4gpu, jit4mpi
+from repro.errors import BackendError
+from repro.frontend.objectgraph import snapshot_args
+from repro.frontend.verify import verify_program
+from repro.jit.program import Program
+from repro.jit.specialize import Specializer
+from repro.lang.types import wootin_info
+
+from tests.guestlib import Saxpy, ScaleAddSolver, Sweeper
+
+
+def lower_only(app, method, *args):
+    snapshot, recv, arg_shapes = snapshot_args(app, args)
+    program = Program(snapshot=snapshot, recv_shape=recv, arg_shapes=arg_shapes)
+    spec = Specializer(program)
+    minfo = wootin_info(type(app)).find_method(method)
+    program.entry = spec.specialize(minfo, recv, arg_shapes, device=False)
+    return program
+
+
+class TestVerifier:
+    def test_clean_programs_verify(self):
+        program = lower_only(Sweeper(ScaleAddSolver(0.5), 8), "run", 2)
+        stats = verify_program(program)
+        assert stats.devirtualized_calls >= 1
+
+    def test_library_programs_verify(self):
+        from repro.library.stencil import StencilCPU3D, EmptyContext, SineGen, ThreeDIndexer
+        from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+
+        app = StencilCPU3D(
+            make_dif3d_solver(), make_grid3d(6, 6, 6),
+            ThreeDIndexer(6, 6, 6), SineGen(6, 6, 4, 1), EmptyContext(),
+        )
+        stats = verify_program(lower_only(app, "run", 2))
+        assert stats.inlined_constructions >= 8  # 7 ScalarFloat + result
+        assert stats.devirtualized_calls >= 3
+
+    def test_corrupted_ir_detected(self):
+        from repro.frontend import ir
+
+        program = lower_only(Sweeper(ScaleAddSolver(0.5), 8), "run", 2)
+        entry = program.entry.func_ir
+        entry.body.append(ir.Return(None))  # void return in a f64 function
+        with pytest.raises(BackendError, match="bare return"):
+            verify_program(program)
+
+    def test_unknown_local_detected(self):
+        from repro.frontend import ir
+        from repro.frontend.shapes import PrimShape
+        from repro.lang import types as _t
+
+        program = lower_only(Sweeper(ScaleAddSolver(0.5), 8), "run", 2)
+        entry = program.entry.func_ir
+        bogus = ir.LocalRef("ghost", _t.F64, PrimShape(_t.F64))
+        entry.body.insert(0, ir.ExprStmt(bogus))
+        with pytest.raises(BackendError, match="ghost"):
+            verify_program(program)
+
+
+class TestOptStats:
+    def test_report_carries_stats(self, backend):
+        code = jit(Sweeper(ScaleAddSolver(0.5), 8), "run", 2, backend=backend,
+                   use_cache=False)
+        st = code.report.opt_stats
+        assert st["devirtualized_calls"] >= 1
+        assert st["folded_constants"] >= 2  # self.n and self.a at least
+
+    def test_kernel_launches_counted(self, backend):
+        code = jit4gpu(Saxpy(2.0), "run", 8, 4, backend=backend,
+                       use_cache=False)
+        assert code.report.opt_stats["kernel_launches"] == 1
+        assert code.report.opt_stats["intrinsic_calls"] >= 4
+
+    def test_stats_survive_cache(self, backend):
+        jit(Sweeper(ScaleAddSolver(0.5), 16), "run", 3, backend=backend)
+        code = jit(Sweeper(ScaleAddSolver(0.5), 16), "run", 3, backend=backend)
+        assert code.report.cache_hit
+        assert code.report.opt_stats["devirtualized_calls"] >= 1
