@@ -5,6 +5,8 @@
     python -m repro run fig04 [fig17 ...]      # regenerate experiments
     python -m repro report [PATH]              # rewrite EXPERIMENTS.md
     python -m repro translate-demo             # show a sample translation
+    python -m repro cache stats                # persistent code-cache state
+    python -m repro cache clear                # drop both cache tiers
 """
 
 from __future__ import annotations
@@ -97,6 +99,30 @@ def cmd_translate_demo(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Inspect or clear the persistent translated-code cache."""
+    import os
+
+    if args.dir:
+        os.environ["REPRO_CACHE_DIR"] = args.dir
+    from repro.jit import cache as code_cache
+
+    if args.action == "clear":
+        removed = code_cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {code_cache.cache_dir()}")
+        return 0
+    st = code_cache.stats()
+    print(f"cache dir      : {st['dir']}")
+    print(f"disk tier      : {'enabled' if st['disk_enabled'] else 'disabled (REPRO_DISK_CACHE=0)'}")
+    print(f"disk entries   : {st['disk_entries']}"
+          + (f"  ({', '.join(f'{k}: {v}' for k, v in sorted(st['disk_by_kind'].items()))})"
+             if st['disk_by_kind'] else ""))
+    print(f"disk footprint : {st['disk_bytes'] / 1024:.1f} KiB")
+    print(f"memory entries : {st['memory_entries']}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -126,6 +152,13 @@ def main(argv=None) -> int:
     p_demo.add_argument("--backend", default="auto",
                         choices=["auto", "c", "py"])
     p_demo.set_defaults(fn=cmd_translate_demo)
+
+    p_cache = sub.add_parser("cache", help="persistent code-cache maintenance")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--dir", default=None,
+                         help="cache directory (default: REPRO_CACHE_DIR or "
+                              "~/.cache/repro-wootinj)")
+    p_cache.set_defaults(fn=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -78,6 +78,9 @@ class CompiledProgram:
     #: generated source, for inspection / docs / tests
     source: str = ""
 
+    #: native-build breakdown (see cbackend.build.BuildStats), when any
+    build_stats: "dict | None" = None
+
     def run(self, env: "RuntimeEnv", arrays: Sequence[np.ndarray]):
         raise NotImplementedError
 

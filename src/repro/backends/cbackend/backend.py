@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.backends.base import Backend, CompiledProgram, OptLevel
-from repro.backends.cbackend.build import compile_shared_object
+from repro.backends.cbackend.build import build_shared_object
 from repro.backends.cbackend.bridge import CCompiled
 from repro.backends.cbackend.emit import CProgramEmitter
 from repro.jit.program import Program
@@ -30,6 +30,9 @@ class CBackend(Backend):
         result = CProgramEmitter(
             program, opt, bounds_checks=self.bounds_checks
         ).emit()
-        so_path, _cached = compile_shared_object(result.source, opt)
-        return CCompiled(so_path, result, result.source,
-                         bounds_checks=self.bounds_checks)
+        so_path, stats = build_shared_object(result.source, opt,
+                                             units=result.units)
+        compiled = CCompiled(so_path, result, result.source,
+                             bounds_checks=self.bounds_checks)
+        compiled.build_stats = stats.as_dict()
+        return compiled

@@ -5,6 +5,14 @@ variant): each :class:`~repro.backends.base.OptLevel` maps to a flag set in
 :data:`FLAG_SETS` — the analogue of the icc option rows, adapted to gcc.
 Artifacts are cached by content hash, so re-JITting an identical program is
 free while first-time compilations are honestly measured (paper Table 3).
+
+Programs with enough specializations are split into per-specialization
+translation units and compiled concurrently (``build_shared_object`` with
+``units``): each unit becomes an object file built in a thread pool, then
+the objects are linked into the shared library.  ``REPRO_CC_JOBS`` caps the
+pool (default: the CPU count), ``REPRO_PARALLEL_CC=0`` forces the
+single-unit path.  Both paths produce the same cache digest — keyed on the
+canonical single-unit source — so warm lookups never depend on build mode.
 """
 
 from __future__ import annotations
@@ -14,12 +22,22 @@ import os
 import shutil
 import subprocess
 import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.backends.base import OptLevel
 from repro.errors import BackendError, CompilationUnavailable
 
-__all__ = ["compiler_available", "compile_shared_object", "FLAG_SETS", "cc_version"]
+__all__ = [
+    "BuildStats",
+    "FLAG_SETS",
+    "build_shared_object",
+    "cc_version",
+    "compile_shared_object",
+    "compiler_available",
+]
 
 
 #: per-comparator compiler options (the analogue of the paper's Table 1/2)
@@ -63,14 +81,67 @@ def _cache_dir() -> Path:
     return path
 
 
-def compile_shared_object(source: str, opt: OptLevel, *, bounds_checks: bool = False) -> tuple[Path, bool]:
-    """Compile C source to a cached .so.  Returns (path, was_cached)."""
+@dataclass
+class BuildStats:
+    """How one shared object was produced (surfaced in ``JitReport``)."""
+
+    mode: str = "single"        # "single" | "parallel" | "cached"
+    units: int = 1              # translation units compiled
+    jobs: int = 1               # thread-pool width actually used
+    compile_s: float = 0.0      # summed per-unit compiler time
+    link_s: float = 0.0         # final link (parallel mode only)
+    wall_s: float = 0.0         # end-to-end build wall clock
+    cached: bool = False        # artifact served from the content-hash cache
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+_MIN_PARALLEL_UNITS = 4
+
+
+def _build_jobs() -> int:
+    env = os.environ.get("REPRO_CC_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _parallel_enabled() -> bool:
+    return os.environ.get("REPRO_PARALLEL_CC", "1") not in ("0", "false", "no")
+
+
+def _run_cc(cmd: list[str]) -> None:
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise BackendError(
+            f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr[-4000:]}"
+        )
+
+
+def build_shared_object(
+    source: str, opt: OptLevel, *, units: "list[str] | None" = None,
+    bounds_checks: bool = False,
+) -> tuple[Path, BuildStats]:
+    """Compile C source to a cached .so; returns ``(path, BuildStats)``.
+
+    ``units`` optionally carries per-specialization translation units (from
+    :class:`~repro.backends.cbackend.emit.EmitResult`); when there are at
+    least ``_MIN_PARALLEL_UNITS`` of them and more than one build job is
+    available, they are compiled concurrently and linked.  The artifact
+    digest is always computed from the canonical ``source``, so both build
+    modes hit the same cache entry.
+    """
     cc = _find_cc()
     if cc is None:
         raise CompilationUnavailable(
             "no C compiler found (set $CC or install gcc/clang), or use "
             "backend='py'"
         )
+    t0 = time.perf_counter()
     flags = list(FLAG_SETS[opt]) + _COMMON
     if bounds_checks:
         flags.append("-DWJ_BOUNDS=1")
@@ -80,15 +151,67 @@ def compile_shared_object(source: str, opt: OptLevel, *, bounds_checks: bool = F
     cache = _cache_dir()
     so_path = cache / f"wj_{digest}.so"
     if so_path.exists():
-        return so_path, True
+        return so_path, BuildStats(mode="cached", cached=True,
+                                   wall_s=time.perf_counter() - t0)
+
+    jobs = _build_jobs()
+    use_parallel = (
+        units is not None
+        and len(units) >= _MIN_PARALLEL_UNITS
+        and jobs > 1
+        and _parallel_enabled()
+    )
+    tmp_out = cache / f"wj_{digest}.so.tmp{os.getpid()}"
+    if use_parallel:
+        # per-unit flags: the opt set minus the link-only options, plus -c
+        unit_flags = [f for f in flags if f not in ("-shared", "-lm")]
+        obj_paths: list[Path] = []
+        for i, unit in enumerate(units):
+            c_path = cache / f"wj_{digest}_u{i}.c"
+            c_path.write_text(unit)
+            obj_paths.append(cache / f"wj_{digest}_u{i}.o.tmp{os.getpid()}")
+        t_compile = time.perf_counter()
+        workers = min(jobs, len(units))
+
+        def compile_unit(i: int) -> None:
+            _run_cc([cc, "-c", str(cache / f"wj_{digest}_u{i}.c"),
+                     "-o", str(obj_paths[i]), *unit_flags])
+
+        try:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # materialize to propagate the first failure
+                list(pool.map(compile_unit, range(len(units))))
+            compile_s = time.perf_counter() - t_compile
+            t_link = time.perf_counter()
+            _run_cc([cc, "-shared", "-fPIC",
+                     *[str(p) for p in obj_paths], "-o", str(tmp_out), "-lm"])
+            link_s = time.perf_counter() - t_link
+        finally:
+            for p in obj_paths:
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+        os.replace(tmp_out, so_path)
+        return so_path, BuildStats(
+            mode="parallel", units=len(units), jobs=workers,
+            compile_s=compile_s, link_s=link_s,
+            wall_s=time.perf_counter() - t0,
+        )
+
     c_path = cache / f"wj_{digest}.c"
     c_path.write_text(source)
-    tmp_out = cache / f"wj_{digest}.so.tmp{os.getpid()}"
-    cmd = [cc, str(c_path), "-o", str(tmp_out), *flags]
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        raise BackendError(
-            f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr[-4000:]}"
-        )
+    t_compile = time.perf_counter()
+    _run_cc([cc, str(c_path), "-o", str(tmp_out), *flags])
+    compile_s = time.perf_counter() - t_compile
     os.replace(tmp_out, so_path)
-    return so_path, False
+    return so_path, BuildStats(mode="single", compile_s=compile_s,
+                               wall_s=time.perf_counter() - t0)
+
+
+def compile_shared_object(source: str, opt: OptLevel, *, bounds_checks: bool = False) -> tuple[Path, bool]:
+    """Compile C source to a cached .so.  Returns (path, was_cached).
+
+    Compatibility wrapper over :func:`build_shared_object` (single-unit)."""
+    path, stats = build_shared_object(source, opt, bounds_checks=bounds_checks)
+    return path, stats.cached

@@ -70,12 +70,17 @@ class EmitResult:
     (scalar tables, entry return type, array-slot count)."""
 
     def __init__(self, source: str, ivals: list[int], dvals: list[float],
-                 entry_ret: _t.Type, n_slots: int):
+                 entry_ret: _t.Type, n_slots: int,
+                 units: "list[str] | None" = None):
         self.source = source
         self.ivals = ivals
         self.dvals = dvals
         self.entry_ret = entry_ret
         self.n_slots = n_slots
+        #: per-specialization translation units (shared header + one function
+        #: each, entry/bind unit last) for parallel builds; None when the
+        #: program is too small to split
+        self.units = units
 
 
 class _Writer:
@@ -295,32 +300,37 @@ class CProgramEmitter:
     # ------------------------------------------------------------------
 
     def emit(self) -> EmitResult:
-        bodies = _Writer()
         protos: list[str] = []
+        spec_bodies: list[_Writer] = []
         for spec in self.program.specializations:
             self.local_shapes[spec.symbol] = compute_local_shapes(spec.func_ir)
         for spec in self.program.specializations:
             ret, decls, _ = self.csig(spec)
-            protos.append(f"static {ret} {spec.symbol}({', '.join(decls)});")
-            _CFunc(self, spec).emit(bodies)
+            # non-static: in multi-TU builds callers live in other units
+            protos.append(f"{ret} {spec.symbol}({', '.join(decls)});")
+            bw = _Writer()
+            _CFunc(self, spec).emit(bw)
+            spec_bodies.append(bw)
 
         entry = self.program.entry
         # emit the entry wrapper first: it interns entry-argument snapshot
         # members, which must exist before the WjSnap struct is printed
         entry_w = _Writer()
         self._emit_entry(entry_w, entry)
-        out = _Writer()
-        out.line("/* generated by repro.backends.cbackend — do not edit */")
-        out.line(PRELUDE)
+
+        # shared header: everything every translation unit needs
+        head = _Writer()
+        head.line("/* generated by repro.backends.cbackend — do not edit */")
+        head.line(PRELUDE)
         for inc in sorted({i for ff in self._ffi.values() for i in ff.includes}):
-            out.line(f"#include <{inc}>")
+            head.line(f"#include <{inc}>")
         for ff in self._ffi.values():
             if ff.csource:
-                out.line(ff.csource)
-        out.line()
+                head.line(ff.csource)
+        head.line()
         for sd in self.struct_defs:
-            out.line(sd)
-            out.line()
+            head.line(sd)
+            head.line()
         # WjSnap: per-rank translated-memory-space state
         members = list(self.snap_members)
         for sid, _ in self._site_members:
@@ -329,31 +339,48 @@ class CProgramEmitter:
             )
         if not members:
             members = ["int _empty;"]
-        out.line("typedef struct WjSnap {")
+        head.line("typedef struct WjSnap {")
         for m in members:
-            out.line(f"    {m}")
-        out.line("} WjSnap;")
-        out.line()
+            head.line(f"    {m}")
+        head.line("} WjSnap;")
+        head.line()
         for p in protos:
-            out.line(p)
-        out.line()
-        out.lines.extend(bodies.lines)
-        # VIRTUAL: dispatch-table binding
-        out.line("static void wj_bind(WjSnap* snap) {")
+            head.line(p)
+        head.line()
+
+        # primary tail: dispatch-table binding + the entry wrapper
+        tail = _Writer()
+        tail.line("static void wj_bind(WjSnap* snap) {")
         for line in self._bind_lines:
-            out.line(f"    {line}")
-        out.line("    (void)snap;")
-        out.line("}")
-        out.line()
-        out.line("int64_t wj_snap_size(void) { return (int64_t)sizeof(WjSnap); }")
-        out.line()
-        out.lines.extend(entry_w.lines)
+            tail.line(f"    {line}")
+        tail.line("    (void)snap;")
+        tail.line("}")
+        tail.line()
+        tail.line("int64_t wj_snap_size(void) { return (int64_t)sizeof(WjSnap); }")
+        tail.line()
+        tail.lines.extend(entry_w.lines)
+
+        out = _Writer()
+        out.lines.extend(head.lines)
+        for bw in spec_bodies:
+            out.lines.extend(bw.lines)
+        out.lines.extend(tail.lines)
+
+        units: list[str] | None = None
+        if len(spec_bodies) >= 2:
+            header_src = head.source()
+            units = [
+                "#define WJ_TU_SECONDARY 1\n" + header_src + bw.source()
+                for bw in spec_bodies
+            ]
+            units.append(header_src + tail.source())
         return EmitResult(
             out.source(),
             list(self.ivals),
             list(self.dvals),
             entry.func_ir.ret_type,
             len(self.program.snapshot.array_slots),
+            units=units,
         )
 
     def _emit_entry(self, out: _Writer, entry) -> None:
@@ -921,7 +948,7 @@ class _CFunc:
 
     def emit_function(self, out: _Writer) -> None:
         ret, decls, _ = self.p.csig(self.spec)
-        out.line(f"static {ret} {self.spec.symbol}({', '.join(decls)}) {{")
+        out.line(f"{ret} {self.spec.symbol}({', '.join(decls)}) {{")
         out.depth += 1
         out.line("(void)env; (void)snap;")
         if self.f.is_device:

@@ -302,17 +302,23 @@ def table3(w: Workloads | None = None) -> Series:
     )
 
     def build(name, make_code):
-        old_cache = os.environ.get("REPRO_CC_CACHE")
+        old_env = {
+            k: os.environ.get(k) for k in ("REPRO_CC_CACHE", "REPRO_CACHE_DIR")
+        }
         with tempfile.TemporaryDirectory() as tmp:
+            # point both caches (compiler artifacts + code cache) at the
+            # temp dir so clearing them cannot touch the user's warm tiers
             os.environ["REPRO_CC_CACHE"] = tmp
+            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "code")
             clear_code_cache()
             try:
                 code = make_code()
             finally:
-                if old_cache is None:
-                    os.environ.pop("REPRO_CC_CACHE", None)
-                else:
-                    os.environ["REPRO_CC_CACHE"] = old_cache
+                for k, v in old_env.items():
+                    if v is None:
+                        os.environ.pop(k, None)
+                    else:
+                        os.environ[k] = v
         r = code.report
         s.rows.append(
             [name, r.translate_s, r.backend_compile_s, r.total_s,

@@ -1,12 +1,22 @@
-"""Series/table plumbing shared by all benchmark drivers."""
+"""Series/table plumbing shared by all benchmark drivers, plus the
+subprocess compile-time probe used by the warm-start cache benchmarks."""
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["Series", "render_table", "results_dir", "save_series"]
+__all__ = [
+    "Series",
+    "compile_probe",
+    "render_table",
+    "results_dir",
+    "save_series",
+]
 
 
 def render_table(headers: list[str], rows: list[list]) -> str:
@@ -66,3 +76,60 @@ def save_series(series: Series) -> Path:
     path = results_dir() / f"{series.exp_id}.txt"
     path.write_text(series.render())
     return path
+
+
+# ---------------------------------------------------------------------------
+# subprocess compile-time probe (warm-start benchmarking)
+# ---------------------------------------------------------------------------
+
+#: worker executed in a fresh interpreter: JIT the sample stencil program
+#: once and report the JitReport timings as JSON on stdout
+_PROBE_WORKER = r"""
+import json
+from repro import jit
+from repro.library.stencil import (
+    EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,
+)
+from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+
+app = StencilCPU3D(
+    make_dif3d_solver(), make_grid3d(8, 8, 6), ThreeDIndexer(8, 8, 6),
+    SineGen(8, 8, 4, 1), EmptyContext(),
+)
+code = jit(app, "run", 2, backend="c")
+r = code.report
+print(json.dumps({
+    "cache_hit": r.cache_hit,
+    "cache_tier": r.cache_tier,
+    "translate_s": r.translate_s,
+    "backend_compile_s": r.backend_compile_s,
+    "cached_lookup_s": r.cached_lookup_s,
+    "total_s": r.total_s,
+    "build_stats": r.build_stats,
+    "value": code.invoke().value,
+}))
+"""
+
+
+def compile_probe(cache_dir: str, *, cc_cache_dir: "str | None" = None,
+                  env_extra: "dict | None" = None) -> dict:
+    """JIT-compile the sample stencil program in a *fresh subprocess* with
+    the disk cache rooted at ``cache_dir``; returns the child's JitReport
+    timings as a dict.  Run twice against the same directory to measure a
+    cold miss then a warm disk hit — the warm run must report
+    ``backend_compile_s == 0`` (it never spawns the external compiler)."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    if cc_cache_dir is not None:
+        env["REPRO_CC_CACHE"] = cc_cache_dir
+    if env_extra:
+        env.update(env_extra)
+    src_root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = f"{src_root}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE_WORKER],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"compile probe failed:\n{proc.stderr[-4000:]}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])

@@ -1,0 +1,518 @@
+"""Two-tier translated-code cache: in-process memory + persistent disk.
+
+The paper's Table 3 argues that WootinJ's 4–5 s JIT cost is acceptable
+because it is *amortized* across invocations.  A process-local cache only
+amortizes within one process; this module adds a second, on-disk tier so a
+fresh process with a warm cache skips the translator *and* the external C
+compiler entirely (the warm path never spawns gcc — it just reloads the
+compiled shared object and replays the recorded emission metadata).
+
+Cache keys are stable digests of everything that determines the translated
+artifact:
+
+* the guest **source text** of every reachable method (transitive closure
+  over the ``@wootin`` registry starting from the receiver/argument classes,
+  following base classes, subclasses — they shape vtables and finality —
+  and class names referenced inside method bodies);
+* the receiver and argument **shape digests** (these embed the recorded
+  constant values the translator bakes in);
+* the backend name, optimization level, bounds-check mode;
+* the C compiler identification (for the C backend), the host architecture,
+  the Python ``major.minor`` and the framework version.
+
+This replaces the old ``id(minfo)``-based key, which was neither stable
+across processes nor safe against on-disk source edits.
+
+Disk entries are written atomically (temp file + ``os.replace``) so
+concurrent writers are safe, and every entry carries content hashes of its
+payload files; corrupted or truncated entries are detected at load time,
+dropped, and silently recompiled.
+
+Environment:
+
+* ``REPRO_CACHE_DIR``   — disk-tier directory (default
+  ``$XDG_CACHE_HOME/repro-wootinj`` or ``~/.cache/repro-wootinj``);
+* ``REPRO_DISK_CACHE=0`` — disable the disk tier (memory tier stays on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import platform
+import re
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.frontend.shapes import ObjShape, Shape
+from repro.jit.program import Program
+from repro.lang import types as _t
+
+__all__ = [
+    "CacheHit",
+    "cache_dir",
+    "clear",
+    "clear_memory",
+    "disk_enabled",
+    "guest_source_digest",
+    "lookup",
+    "program_key",
+    "stats",
+    "store",
+]
+
+_FORMAT_VERSION = 1
+
+#: entry-return-type name <-> singleton mapping (for disk serialization)
+_RET_BY_NAME = {
+    "void": _t.VOID,
+    "boolean": _t.BOOL,
+    "i32": _t.I32,
+    "i64": _t.I64,
+    "f32": _t.F32,
+    "f64": _t.F64,
+}
+_NAME_BY_RET = {id(v): k for k, v in _RET_BY_NAME.items()}
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+# -- memory tier -----------------------------------------------------------
+
+#: digest -> (program, compiled, meta)
+_MEMORY: dict[str, tuple] = {}
+
+#: in-process counters, reported by :func:`stats`
+_COUNTERS = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+
+#: guest-source digest memo: (registry generation, sorted root qualnames)
+_GUEST_DIGEST_MEMO: dict[tuple, tuple[str, bool]] = {}
+
+
+# ---------------------------------------------------------------------------
+# key composition
+# ---------------------------------------------------------------------------
+
+#: defining-file memo: path -> (mtime_ns, size, sha256, text)
+_FILE_MEMO: dict[str, tuple[int, int, str, str]] = {}
+
+
+def _class_file(info) -> Optional[str]:
+    """Path of the module file that defines one guest class (None when the
+    class has no readable source — e.g. defined interactively)."""
+    try:
+        mod = sys.modules.get(info.pycls.__module__)
+        path = getattr(mod, "__file__", None) or inspect.getfile(info.pycls)
+    except (OSError, TypeError):
+        return None
+    if not path or not os.path.isfile(path):
+        return None
+    return path
+
+
+def _file_text_sha(path: str) -> tuple[str, str]:
+    """``(sha256, text)`` of one source file, memoized by (mtime, size)."""
+    st = os.stat(path)
+    memo = _FILE_MEMO.get(path)
+    if memo is not None and memo[0] == st.st_mtime_ns and memo[1] == st.st_size:
+        return memo[2], memo[3]
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    sha = hashlib.sha256(text.encode()).hexdigest()
+    _FILE_MEMO[path] = (st.st_mtime_ns, st.st_size, sha, text)
+    return sha, text
+
+
+def _shape_classes(shape: Shape, out: list) -> None:
+    if isinstance(shape, ObjShape):
+        out.append(shape.cls)
+        for fshape in shape.fields.values():
+            _shape_classes(fshape, out)
+
+
+def guest_source_digest(root_infos) -> tuple[str, bool]:
+    """Digest of the guest source reachable from ``root_infos``.
+
+    The closure starts from the root classes, follows base classes and
+    subclasses (they shape vtables and finality), and pulls in any
+    registered guest class whose name appears in an already-reachable
+    defining file.  Source is hashed at *file* granularity — the whole
+    defining module of each reachable class — which over-approximates the
+    per-method closure (safe: edits can only invalidate, never miss) and
+    keeps the warm path fast (one read+hash per file instead of a tokenize
+    pass per method).
+
+    Returns ``(hexdigest, persistable)`` — ``persistable`` is False when
+    some reachable class's source cannot be read (the digest is then only
+    unique within this process and must not be written to disk).
+    """
+    roots = sorted({info.qualname for info in root_infos})
+    generation = len(_t.WOOTIN_CLASSES)
+    memo_key = (generation, tuple(roots))
+    cached = _GUEST_DIGEST_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+
+    by_name: dict[str, list] = {}
+    for info in _t.WOOTIN_CLASSES.values():
+        by_name.setdefault(info.name, []).append(info)
+
+    seen: dict[int, object] = {}
+    files: dict[str, str] = {}  # path -> sha (None path handled separately)
+    persistable = True
+    nosource_markers: list[str] = []
+    work = [i for i in _t.WOOTIN_CLASSES.values() if i.qualname in set(roots)]
+    while work:
+        info = work.pop()
+        if id(info) in seen:
+            continue
+        seen[id(info)] = info
+        work.extend(info.bases)
+        work.extend(info.subclasses)
+        path = _class_file(info)
+        if path is None:
+            persistable = False
+            nosource_markers.append(f"<nosource:{info.qualname}:{id(info.pycls)}>")
+            continue
+        if path in files:
+            continue
+        try:
+            sha, text = _file_text_sha(path)
+        except OSError:
+            persistable = False
+            nosource_markers.append(f"<unreadable:{info.qualname}:{id(info.pycls)}>")
+            continue
+        files[path] = sha
+        # any registered guest class named in this file joins the closure
+        for ident in set(_IDENT_RE.findall(text)):
+            for cand in by_name.get(ident, ()):
+                if id(cand) not in seen:
+                    work.append(cand)
+
+    h = hashlib.sha256()
+    for info in sorted(seen.values(), key=lambda i: i.qualname):
+        h.update(info.qualname.encode())
+        h.update(repr(sorted((f, repr(t)) for f, t in info.field_decls.items())).encode())
+        h.update(repr(sorted(info.shared_fields)).encode())
+        h.update(repr(sorted(b.qualname for b in info.bases)).encode())
+        h.update(repr(sorted(s.qualname for s in info.subclasses)).encode())
+        h.update(repr(sorted(info.methods)).encode())
+    for sha in sorted(files.values()):
+        h.update(sha.encode())
+    for marker in sorted(nosource_markers):
+        h.update(marker.encode())
+    result = (h.hexdigest(), persistable)
+    _GUEST_DIGEST_MEMO[memo_key] = result
+    return result
+
+
+_CC_VERSION_CACHE: Optional[str] = None
+
+
+def _cc_version() -> str:
+    global _CC_VERSION_CACHE
+    if _CC_VERSION_CACHE is None:
+        from repro.backends.cbackend.build import cc_version
+
+        _CC_VERSION_CACHE = cc_version()
+    return _CC_VERSION_CACHE
+
+
+@dataclass
+class CacheKey:
+    """A computed program key: the digest plus whether it may hit disk."""
+
+    digest: str
+    persistable: bool
+
+
+def program_key(minfo, recv_shape: ObjShape, arg_shapes, *, backend: str,
+                opt, bounds_checks: bool = False) -> CacheKey:
+    """Stable digest identifying one translated program (see module doc)."""
+    import repro
+
+    roots: list = [minfo.owner]
+    _shape_classes(recv_shape, roots)
+    for s in arg_shapes:
+        _shape_classes(s, roots)
+    guest, persistable = guest_source_digest(roots)
+    material = {
+        "v": _FORMAT_VERSION,
+        "repro": repro.__version__,
+        "py": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "machine": platform.machine(),
+        "guest": guest,
+        "method": f"{minfo.owner.qualname}.{minfo.name}",
+        "recv": recv_shape.digest(),
+        "args": [s.digest() for s in arg_shapes],
+        "backend": backend,
+        "opt": opt.value,
+        "bounds": bool(bounds_checks),
+        "cc": _cc_version() if backend == "c" else "",
+    }
+    blob = json.dumps(material, sort_keys=True).encode()
+    return CacheKey(hashlib.sha256(blob).hexdigest(), persistable)
+
+
+# ---------------------------------------------------------------------------
+# disk tier
+# ---------------------------------------------------------------------------
+
+def cache_dir() -> Path:
+    """The disk-tier directory (``REPRO_CACHE_DIR`` override honored)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-wootinj"
+
+
+def disk_enabled() -> bool:
+    """Whether the persistent tier is active (``REPRO_DISK_CACHE=0`` off)."""
+    return os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "false", "no")
+
+
+def _sha256_file(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def _entry_paths(root: Path, digest: str) -> tuple[Path, Path, Path]:
+    return root / f"{digest}.json", root / f"{digest}.src", root / f"{digest}.so"
+
+
+def _drop_entry(root: Path, digest: str) -> None:
+    for p in _entry_paths(root, digest):
+        try:
+            p.unlink()
+        except OSError:
+            pass
+
+
+def _disk_get(digest: str) -> Optional[dict]:
+    """Load and verify one disk entry; returns meta dict (with ``source``
+    and ``so_path`` attached) or None.  Corrupted entries are dropped."""
+    root = cache_dir()
+    jpath, spath, opath = _entry_paths(root, digest)
+    if not jpath.exists():
+        return None
+    try:
+        meta = json.loads(jpath.read_text())
+        if meta.get("v") != _FORMAT_VERSION:
+            raise ValueError("format version mismatch")
+        source = spath.read_text()
+        if hashlib.sha256(source.encode()).hexdigest() != meta["sha_src"]:
+            raise ValueError("source hash mismatch")
+        if meta["kind"] == "c":
+            if _sha256_file(opath) != meta["sha_so"]:
+                raise ValueError("shared-object hash mismatch")
+        meta["source"] = source
+        meta["so_path"] = str(opath)
+        return meta
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        _drop_entry(root, digest)
+        return None
+
+
+def _disk_put(digest: str, meta: dict, source: str,
+              so_path: Optional[str]) -> None:
+    """Write one entry atomically; best-effort (never fails compilation)."""
+    try:
+        root = cache_dir()
+        root.mkdir(parents=True, exist_ok=True)
+        jpath, spath, opath = _entry_paths(root, digest)
+        _atomic_write_bytes(spath, source.encode())
+        meta = dict(meta)
+        meta["v"] = _FORMAT_VERSION
+        meta["sha_src"] = hashlib.sha256(source.encode()).hexdigest()
+        if so_path is not None:
+            tmp = opath.with_name(f"{opath.name}.tmp{os.getpid()}")
+            shutil.copyfile(so_path, tmp)
+            os.replace(tmp, opath)
+            meta["sha_so"] = _sha256_file(opath)
+        # the json is written last: its presence marks a complete entry
+        _atomic_write_bytes(jpath, json.dumps(meta, sort_keys=True).encode())
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# entry (de)hydration
+# ---------------------------------------------------------------------------
+
+def _meta_for(program: Program, compiled, report) -> dict:
+    emit = getattr(compiled, "emit_result", None)
+    meta = {
+        "kind": "c" if emit is not None else "py",
+        "backend": report.backend,
+        "opt": report.opt,
+        "n_specializations": report.n_specializations,
+        "n_sites": report.n_call_sites,
+        "uses_mpi": program.uses_mpi,
+        "uses_gpu": program.uses_gpu,
+        "opt_stats": dict(report.opt_stats),
+        "bounds_checks": bool(getattr(compiled, "bounds_checks", False)),
+    }
+    if emit is not None:
+        meta["ivals"] = list(emit.ivals)
+        meta["dvals"] = list(emit.dvals)
+        meta["entry_ret"] = _NAME_BY_RET[id(emit.entry_ret)]
+        meta["n_slots"] = emit.n_slots
+    return meta
+
+
+def _program_from_meta(meta: dict, snapshot, recv_shape, arg_shapes) -> Program:
+    return Program(
+        snapshot=snapshot,
+        specializations=[],
+        entry=None,
+        recv_shape=recv_shape,
+        arg_shapes=arg_shapes,
+        n_sites=meta["n_sites"],
+        uses_mpi=meta["uses_mpi"],
+        uses_gpu=meta["uses_gpu"],
+    )
+
+
+def _hydrate(meta: dict, snapshot, recv_shape, arg_shapes):
+    """Rebuild (program, compiled) from a verified disk entry."""
+    program = _program_from_meta(meta, snapshot, recv_shape, arg_shapes)
+    if meta["kind"] == "c":
+        from repro.backends.cbackend.bridge import CCompiled
+        from repro.backends.cbackend.emit import EmitResult
+
+        emit = EmitResult(
+            meta["source"],
+            list(meta["ivals"]),
+            [float(v) for v in meta["dvals"]],
+            _RET_BY_NAME[meta["entry_ret"]],
+            meta["n_slots"],
+        )
+        compiled = CCompiled(meta["so_path"], emit, meta["source"],
+                             bounds_checks=meta["bounds_checks"])
+    else:
+        from repro.backends.pybackend.emit import _PyCompiled
+
+        compiled = _PyCompiled(program, meta["source"])
+    return program, compiled
+
+
+# ---------------------------------------------------------------------------
+# lookup / store
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheHit:
+    """One cache hit: where it came from and the rebound artifacts."""
+
+    tier: str                 # "memory" | "disk"
+    program: Program
+    compiled: object
+    meta: dict
+
+
+def lookup(key: CacheKey, *, snapshot, recv_shape, arg_shapes) -> Optional[CacheHit]:
+    """Probe memory then disk; rebinds the program to the fresh snapshot."""
+    got = _MEMORY.get(key.digest)
+    if got is not None:
+        program, compiled, meta = got
+        rebound = program.rebind(snapshot, recv_shape, arg_shapes)
+        _COUNTERS["memory_hits"] += 1
+        return CacheHit("memory", rebound, compiled, meta)
+    if key.persistable and disk_enabled():
+        meta = _disk_get(key.digest)
+        if meta is not None:
+            try:
+                program, compiled = _hydrate(meta, snapshot, recv_shape, arg_shapes)
+            except Exception:  # noqa: BLE001 - recompile on any damage
+                _drop_entry(cache_dir(), key.digest)
+            else:
+                _MEMORY[key.digest] = (program, compiled, meta)
+                _COUNTERS["disk_hits"] += 1
+                return CacheHit("disk", program, compiled, meta)
+    _COUNTERS["misses"] += 1
+    return None
+
+
+def store(key: CacheKey, program: Program, compiled, report) -> None:
+    """Record a freshly-compiled program in both tiers."""
+    meta = _meta_for(program, compiled, report)
+    _MEMORY[key.digest] = (program, compiled, meta)
+    _COUNTERS["stores"] += 1
+    if key.persistable and disk_enabled():
+        so_path = getattr(compiled, "so_path", None)
+        _disk_put(key.digest, meta, compiled.source, so_path)
+
+
+# ---------------------------------------------------------------------------
+# maintenance
+# ---------------------------------------------------------------------------
+
+_ENTRY_FILE_RE = re.compile(r"^[0-9a-f]{32,}\.(json|src|so)$")
+
+
+def clear_memory() -> None:
+    """Drop the in-process tier only (the disk tier survives)."""
+    _MEMORY.clear()
+
+
+def clear() -> int:
+    """Clear both tiers; returns the number of disk entries removed."""
+    clear_memory()
+    removed = 0
+    root = cache_dir()
+    if root.is_dir():
+        for p in root.iterdir():
+            if _ENTRY_FILE_RE.match(p.name):
+                if p.suffix == ".json":
+                    removed += 1
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+    return removed
+
+
+def stats() -> dict:
+    """Both tiers' state: counters, entry counts, disk footprint."""
+    root = cache_dir()
+    n_entries = 0
+    n_bytes = 0
+    by_kind: dict[str, int] = {}
+    if root.is_dir():
+        for p in root.iterdir():
+            if not _ENTRY_FILE_RE.match(p.name):
+                continue
+            try:
+                n_bytes += p.stat().st_size
+            except OSError:
+                continue
+            if p.suffix == ".json":
+                n_entries += 1
+                try:
+                    kind = json.loads(p.read_text()).get("kind", "?")
+                except (OSError, json.JSONDecodeError):
+                    kind = "?"
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+    return {
+        "dir": str(root),
+        "disk_enabled": disk_enabled(),
+        "memory_entries": len(_MEMORY),
+        "disk_entries": n_entries,
+        "disk_bytes": n_bytes,
+        "disk_by_kind": by_kind,
+        **_COUNTERS,
+    }

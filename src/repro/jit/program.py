@@ -35,3 +35,18 @@ class Program:
 
     def host_specs(self):
         return [s for s in self.specializations if not s.device]
+
+    def rebind(self, snapshot: Snapshot, recv_shape, arg_shapes) -> "Program":
+        """A copy bound to a freshly-captured snapshot (cache-hit path):
+        the translated code is shared, but array slots index into the new
+        capture so each JitCode invokes against its own recorded arrays."""
+        return Program(
+            snapshot=snapshot,
+            specializations=self.specializations,
+            entry=self.entry,
+            recv_shape=recv_shape,
+            arg_shapes=arg_shapes,
+            n_sites=self.n_sites,
+            uses_mpi=self.uses_mpi,
+            uses_gpu=self.uses_gpu,
+        )

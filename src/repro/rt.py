@@ -40,5 +40,14 @@ class RtContext(threading.local):
         self.outputs = None
         return out
 
+    def reset(self) -> None:
+        """Drop every binding (a clean slate for interpreted reference runs
+        — e.g. the differential harness — so no simulated-MPI/CUDA context
+        or pending outputs leak between executions)."""
+        self.mpi_ctx = None
+        self.cuda_ctx = None
+        self.cuda_device = None
+        self.outputs = None
+
 
 current = RtContext()

@@ -12,6 +12,14 @@ requires_cc = pytest.mark.skipif(
     not compiler_available(), reason="no C compiler on this host"
 )
 
+
+@pytest.fixture(autouse=True)
+def _isolated_code_cache(tmp_path_factory, monkeypatch):
+    """Point the persistent code cache at a per-session temp dir so tests
+    never read or pollute the user's ~/.cache tier."""
+    root = tmp_path_factory.getbasetemp() / "code-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+
 BACKENDS = ["py"] + (["c"] if compiler_available() else [])
 
 

@@ -1,0 +1,90 @@
+"""Golden-file tests for the C emitter.
+
+The emitted C for two representative programs (a 3-D stencil and a
+matmul) is checked in under ``tests/golden/`` and diffed against the
+emitter's current output, so emitter regressions are caught without a C
+compiler: the program is lowered backend-independently (via the Python
+backend) and only *emitted* as C here, never compiled.
+
+To regenerate after an intentional emitter change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_cbackend_golden.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import jit
+from repro.backends.base import OptLevel
+from repro.backends.cbackend.emit import CProgramEmitter
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _stencil_program():
+    from repro.library.stencil import (
+        EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,
+    )
+    from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+
+    app = StencilCPU3D(
+        make_dif3d_solver(), make_grid3d(8, 8, 6), ThreeDIndexer(8, 8, 6),
+        SineGen(8, 8, 4, 1), EmptyContext(),
+    )
+    return jit(app, "run", 2, backend="py", use_cache=False).program
+
+
+def _matmul_program():
+    from repro.library.matmul import (
+        CPULoop, OptimizedCalculator, SimpleOuterBody, make_matrix,
+    )
+
+    app = CPULoop(SimpleOuterBody(), OptimizedCalculator())
+    ma, mb, mc = make_matrix(8), make_matrix(8), make_matrix(8)
+    return jit(app, "start", ma, mb, mc, backend="py", use_cache=False).program
+
+
+PROGRAMS = {
+    "stencil": _stencil_program,
+    "matmul": _matmul_program,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_emitted_c_matches_golden(name):
+    program = PROGRAMS[name]()
+    source = CProgramEmitter(program, OptLevel.FULL).emit().source
+    golden_path = GOLDEN_DIR / f"{name}.c"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(source)
+        pytest.skip(f"regenerated {golden_path}")
+    assert golden_path.exists(), (
+        f"golden file {golden_path} missing — regenerate with "
+        f"REPRO_REGEN_GOLDEN=1"
+    )
+    golden = golden_path.read_text()
+    if source != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(), source.splitlines(),
+                fromfile=f"golden/{name}.c", tofile="emitted", lineterm="",
+            )
+        )
+        raise AssertionError(
+            f"C emitter output changed for {name!r} — if intentional, "
+            f"regenerate with REPRO_REGEN_GOLDEN=1:\n{diff[:8000]}"
+        )
+
+
+def test_emission_is_deterministic():
+    """Two independent lowerings of the same program emit identical C —
+    the property the golden files (and the disk cache keys) rely on."""
+    a = CProgramEmitter(_matmul_program(), OptLevel.FULL).emit().source
+    b = CProgramEmitter(_matmul_program(), OptLevel.FULL).emit().source
+    assert a == b
