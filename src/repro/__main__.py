@@ -7,6 +7,7 @@
     python -m repro translate-demo             # show a sample translation
     python -m repro cache stats                # persistent code-cache state
     python -m repro cache clear                # drop both cache tiers
+    python -m repro jit stats                  # JIT service counters/config
 """
 
 from __future__ import annotations
@@ -108,7 +109,9 @@ def cmd_cache(args) -> int:
     from repro.jit import cache as code_cache
 
     if args.action == "clear":
-        removed = code_cache.clear()
+        from repro.jit.engine import clear_code_cache
+
+        removed = clear_code_cache()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {code_cache.cache_dir()}")
         return 0
@@ -120,6 +123,26 @@ def cmd_cache(args) -> int:
              if st['disk_by_kind'] else ""))
     print(f"disk footprint : {st['disk_bytes'] / 1024:.1f} KiB")
     print(f"memory entries : {st['memory_entries']}")
+    return 0
+
+
+def cmd_jit(args) -> int:
+    """Show the JIT service configuration and per-phase counters."""
+    from repro.jit import service
+
+    st = service.stats()
+    print(f"tiered default   : {'on (REPRO_TIERED)' if st['tiered_default'] else 'off'}")
+    print(f"build workers    : {st['workers']}")
+    print(f"requests         : {st['requests']}  "
+          f"(tiered: {st['tiered_requests']})")
+    print(f"compiles         : {st['compiles']}")
+    print(f"dedup hits       : {st['dedup_hits']}  "
+          f"(in-flight waits: {st['inflight_waits']}, "
+          f"{st['inflight_wait_s']:.3f} s blocked)")
+    print(f"tier promotions  : {st['tier_promotions']}  "
+          f"(failures: {st['tier_failures']})")
+    print(f"build queue      : depth {st['queue_depth']}, "
+          f"high-water {st['max_queue_depth']}")
     return 0
 
 
@@ -159,6 +182,10 @@ def main(argv=None) -> int:
                          help="cache directory (default: REPRO_CACHE_DIR or "
                               "~/.cache/repro-wootinj)")
     p_cache.set_defaults(fn=cmd_cache)
+
+    p_jit = sub.add_parser("jit", help="JIT service counters and config")
+    p_jit.add_argument("action", choices=["stats"])
+    p_jit.set_defaults(fn=cmd_jit)
 
     args = parser.parse_args(argv)
     return args.fn(args)

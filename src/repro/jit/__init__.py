@@ -1,6 +1,16 @@
 """The JIT engine: specialization, program assembly, invocation."""
 
 from repro.backends.base import OptLevel
+from repro.jit import service
 from repro.jit.engine import InvokeResult, JitCode, JitReport, jit, jit4gpu, jit4mpi
 
-__all__ = ["InvokeResult", "JitCode", "JitReport", "OptLevel", "jit", "jit4gpu", "jit4mpi"]
+__all__ = [
+    "InvokeResult",
+    "JitCode",
+    "JitReport",
+    "OptLevel",
+    "jit",
+    "jit4gpu",
+    "jit4mpi",
+    "service",
+]

@@ -45,6 +45,7 @@ import platform
 import re
 import shutil
 import sys
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -82,6 +83,12 @@ _NAME_BY_RET = {id(v): k for k, v in _RET_BY_NAME.items()}
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 # -- memory tier -----------------------------------------------------------
+
+#: guards the memory tier and its counters — ``jit()`` may be called from
+#: many threads at once (and the tiered service compiles in the background),
+#: so store/lookup must not interleave on a torn dict/counter state.  The
+#: lock is reentrant because :func:`clear` calls :func:`clear_memory`.
+_TIER_LOCK = threading.RLock()
 
 #: digest -> (program, compiled, meta)
 _MEMORY: dict[str, tuple] = {}
@@ -364,6 +371,7 @@ def _meta_for(program: Program, compiled, report) -> dict:
         "uses_mpi": program.uses_mpi,
         "uses_gpu": program.uses_gpu,
         "opt_stats": dict(report.opt_stats),
+        "build_stats": dict(report.build_stats),
         "bounds_checks": bool(getattr(compiled, "bounds_checks", False)),
     }
     if emit is not None:
@@ -426,32 +434,34 @@ class CacheHit:
 
 def lookup(key: CacheKey, *, snapshot, recv_shape, arg_shapes) -> Optional[CacheHit]:
     """Probe memory then disk; rebinds the program to the fresh snapshot."""
-    got = _MEMORY.get(key.digest)
-    if got is not None:
-        program, compiled, meta = got
-        rebound = program.rebind(snapshot, recv_shape, arg_shapes)
-        _COUNTERS["memory_hits"] += 1
-        return CacheHit("memory", rebound, compiled, meta)
-    if key.persistable and disk_enabled():
-        meta = _disk_get(key.digest)
-        if meta is not None:
-            try:
-                program, compiled = _hydrate(meta, snapshot, recv_shape, arg_shapes)
-            except Exception:  # noqa: BLE001 - recompile on any damage
-                _drop_entry(cache_dir(), key.digest)
-            else:
-                _MEMORY[key.digest] = (program, compiled, meta)
-                _COUNTERS["disk_hits"] += 1
-                return CacheHit("disk", program, compiled, meta)
-    _COUNTERS["misses"] += 1
-    return None
+    with _TIER_LOCK:
+        got = _MEMORY.get(key.digest)
+        if got is not None:
+            program, compiled, meta = got
+            rebound = program.rebind(snapshot, recv_shape, arg_shapes)
+            _COUNTERS["memory_hits"] += 1
+            return CacheHit("memory", rebound, compiled, meta)
+        if key.persistable and disk_enabled():
+            meta = _disk_get(key.digest)
+            if meta is not None:
+                try:
+                    program, compiled = _hydrate(meta, snapshot, recv_shape, arg_shapes)
+                except Exception:  # noqa: BLE001 - recompile on any damage
+                    _drop_entry(cache_dir(), key.digest)
+                else:
+                    _MEMORY[key.digest] = (program, compiled, meta)
+                    _COUNTERS["disk_hits"] += 1
+                    return CacheHit("disk", program, compiled, meta)
+        _COUNTERS["misses"] += 1
+        return None
 
 
 def store(key: CacheKey, program: Program, compiled, report) -> None:
     """Record a freshly-compiled program in both tiers."""
     meta = _meta_for(program, compiled, report)
-    _MEMORY[key.digest] = (program, compiled, meta)
-    _COUNTERS["stores"] += 1
+    with _TIER_LOCK:
+        _MEMORY[key.digest] = (program, compiled, meta)
+        _COUNTERS["stores"] += 1
     if key.persistable and disk_enabled():
         so_path = getattr(compiled, "so_path", None)
         _disk_put(key.digest, meta, compiled.source, so_path)
@@ -466,7 +476,8 @@ _ENTRY_FILE_RE = re.compile(r"^[0-9a-f]{32,}\.(json|src|so)$")
 
 def clear_memory() -> None:
     """Drop the in-process tier only (the disk tier survives)."""
-    _MEMORY.clear()
+    with _TIER_LOCK:
+        _MEMORY.clear()
 
 
 def clear() -> int:
@@ -507,12 +518,13 @@ def stats() -> dict:
                 except (OSError, json.JSONDecodeError):
                     kind = "?"
                 by_kind[kind] = by_kind.get(kind, 0) + 1
-    return {
-        "dir": str(root),
-        "disk_enabled": disk_enabled(),
-        "memory_entries": len(_MEMORY),
-        "disk_entries": n_entries,
-        "disk_bytes": n_bytes,
-        "disk_by_kind": by_kind,
-        **_COUNTERS,
-    }
+    with _TIER_LOCK:
+        return {
+            "dir": str(root),
+            "disk_enabled": disk_enabled(),
+            "memory_entries": len(_MEMORY),
+            "disk_entries": n_entries,
+            "disk_bytes": n_bytes,
+            "disk_by_kind": by_kind,
+            **_COUNTERS,
+        }

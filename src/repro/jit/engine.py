@@ -18,6 +18,7 @@ and ``wj.output`` labels, as discussed in §3.1.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -27,7 +28,6 @@ import numpy as np
 from repro.backends.base import Backend, CompiledProgram, OptLevel
 from repro.cuda.perf import GpuModel, M2050_MODEL
 from repro.errors import JitError
-from repro.frontend.objectgraph import snapshot_args
 from repro.jit.program import Program
 from repro.jit.runtime import RuntimeEnv
 from repro.jit.specialize import Specializer
@@ -45,19 +45,34 @@ class JitReport:
     On a cache hit ``translate_s`` and ``backend_compile_s`` are 0 — the
     warm path runs neither the translator nor the external compiler — and
     ``cached_lookup_s`` carries the real cost paid (snapshot capture, key
-    digest, tier probe, artifact rehydration).  ``cache_tier`` says which
-    tier served the hit (``"memory"`` or ``"disk"``).
+    digest, tier probe, artifact rehydration, plus any time spent blocked
+    on another thread's in-flight compile).  ``cache_tier`` says which
+    tier served the hit (``"memory"`` or ``"disk"``).  On a cache *miss*
+    ``cached_lookup_s`` is the key-digest + failed-probe cost — it is kept
+    out of ``translate_s``, which means only snapshot + lowering + emit —
+    so warm and cold reports are field-for-field comparable.
     """
 
     translate_s: float = 0.0        # snapshot + rule check + lowering + emit
     backend_compile_s: float = 0.0  # external compiler (gcc) time
-    cached_lookup_s: float = 0.0    # real warm-path cost (cache hits only)
+    cached_lookup_s: float = 0.0    # key digest + cache probe (hit or miss)
     n_specializations: int = 0
     n_call_sites: int = 0
     backend: str = ""
     opt: str = ""
     cache_hit: bool = False
     cache_tier: str = ""            # "memory" | "disk" | "" (miss)
+    #: this request joined another thread's in-flight compile instead of
+    #: running the translator itself (single-flight deduplication)
+    dedup_hit: bool = False
+    #: seconds spent blocked on the in-flight compile (dedup hits only)
+    inflight_wait_s: float = 0.0
+    #: compiled through the tiered service (py tier first, native later)
+    tiered: bool = False
+    #: background tier-promotion outcome: empty until the native build
+    #: resolves, then either the promoted build's breakdown (backend,
+    #: translate_s, backend_compile_s, build_stats, ...) or {"error": ...}
+    promotion: dict = field(default_factory=dict)
     #: what the translation removed/resolved (see frontend.verify.OptStats)
     opt_stats: dict = field(default_factory=dict)
     #: native-build breakdown (units, jobs, compile/link seconds) — see
@@ -85,11 +100,15 @@ class InvokeResult:
         return self.outputs[rank][label]
 
 
-def clear_code_cache() -> None:
-    """Clear both tiers of the code cache (in-memory and on-disk)."""
+def clear_code_cache() -> int:
+    """Clear both tiers of the code cache (in-memory and on-disk).
+
+    Returns the number of disk entries removed (``cache.clear()``'s count;
+    previously discarded here, which left the CLI unable to say what it
+    did)."""
     from repro.jit import cache as code_cache
 
-    code_cache.clear()
+    return code_cache.clear()
 
 
 def _make_backend(name: str) -> Backend:
@@ -113,7 +132,15 @@ def _make_backend(name: str) -> Backend:
 
 
 class JitCode:
-    """Handle to one translated program (the paper's ``JitCode``)."""
+    """Handle to one translated program (the paper's ``JitCode``).
+
+    A tiered compile (``jit(..., tiered=True)``) hands back a ``JitCode``
+    backed by the fast-to-build py tier; when the background native build
+    resolves, the artifact is hot-swapped in place.  The swap is atomic
+    with respect to :meth:`invoke` — every invocation runs entirely on one
+    tier — and a failed native build degrades gracefully: the handle stays
+    on the py tier and records :attr:`tier_warning` instead of raising.
+    """
 
     def __init__(self, program: Program, compiled: CompiledProgram, report: JitReport):
         self.program = program
@@ -124,6 +151,56 @@ class JitCode:
         self.gpu_model: Optional[GpuModel] = None
         if program.uses_gpu:
             self.gpu_model = M2050_MODEL
+        #: set when a background tier promotion failed (degraded to py tier)
+        self.tier_warning: Optional[str] = None
+        self._tier = report.backend
+        self._swap_lock = threading.Lock()
+        self._tier_event = threading.Event()
+        self._tier_event.set()  # non-tiered handles are final immediately
+
+    # -- tiered execution ---------------------------------------------------
+
+    @property
+    def tier(self) -> str:
+        """Backend name of the artifact ``invoke`` runs *right now*."""
+        return self._tier
+
+    def wait_tier(self, timeout: Optional[float] = None) -> bool:
+        """Block until the background tier build resolves (promotion or
+        degradation); True when resolved.  Immediate for non-tiered code."""
+        return self._tier_event.wait(timeout)
+
+    def _begin_promotion(self) -> None:
+        self._tier_event.clear()
+
+    def _promote(self, code: "JitCode") -> None:
+        """Hot-swap to the promoted artifact (service calls this)."""
+        promoted = code.report
+        with self._swap_lock:
+            self.program = code.program
+            self.compiled = code.compiled
+            self._tier = promoted.backend
+            self.report.promotion = {
+                "backend": promoted.backend,
+                "opt": promoted.opt,
+                "cache_hit": promoted.cache_hit,
+                "cache_tier": promoted.cache_tier,
+                "translate_s": promoted.translate_s,
+                "backend_compile_s": promoted.backend_compile_s,
+                "cached_lookup_s": promoted.cached_lookup_s,
+                "build_stats": dict(promoted.build_stats),
+            }
+        self._tier_event.set()
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Record a failed promotion; the py tier keeps serving."""
+        with self._swap_lock:
+            self.tier_warning = (
+                f"tier promotion failed ({exc!r}); staying on the "
+                f"{self._tier!r} tier"
+            )
+            self.report.promotion = {"error": repr(exc)}
+        self._tier_event.set()
 
     # -- configuration ------------------------------------------------------
 
@@ -144,7 +221,8 @@ class JitCode:
     @property
     def source(self) -> str:
         """The generated C (or Python) source — the paper's Listing 5."""
-        return self.compiled.source
+        with self._swap_lock:
+            return self.compiled.source
 
     # -- execution ------------------------------------------------------------
 
@@ -153,13 +231,17 @@ class JitCode:
         # without set4mpi the program runs as a 1-rank world (collectives
         # degrade to no-ops, exactly like a single-node mpirun)
         nranks = self.nranks or 1
-        slots = self.program.snapshot.array_slots
+        # snapshot the (program, compiled) pair under the swap lock so a
+        # concurrent tier promotion cannot tear one invocation across tiers
+        with self._swap_lock:
+            program, compiled = self.program, self.compiled
+        slots = program.snapshot.array_slots
 
         def body(ctx):
             env = RuntimeEnv(ctx, gpu_model=self.gpu_model)
             # deep copy into this rank's translated memory space
             arrays = [np.array(s.array, copy=True) for s in slots]
-            value = self.compiled.run(env, arrays)
+            value = compiled.run(env, arrays)
             if ctx is not None:
                 ctx.outputs.update(env.outputs)
             return value
@@ -178,8 +260,8 @@ class JitCode:
         )
 
 
-def _compile(receiver, method: str, args, *, backend: str, opt: OptLevel,
-             use_cache: bool) -> JitCode:
+def _resolve_minfo(receiver, method: str):
+    """The ``@wootin`` method descriptor for ``receiver.method``."""
     info = _t.wootin_info(type(receiver))
     if info is None:
         raise JitError(
@@ -188,40 +270,15 @@ def _compile(receiver, method: str, args, *, backend: str, opt: OptLevel,
     minfo = info.find_method(method)
     if minfo is None:
         raise JitError(f"class {info.name} has no method {method!r}")
+    return minfo
 
-    from repro.jit import cache as code_cache
 
-    # backend construction (and its import chain) is excluded from the
-    # timings, as before — it is process-lifetime cost, not per-program
-    backend_obj = _make_backend(backend)
-    t0 = time.perf_counter()
-    snapshot, recv_shape, arg_shapes = snapshot_args(receiver, args)
-    key = None
-    if use_cache:
-        key = code_cache.program_key(
-            minfo, recv_shape, arg_shapes,
-            backend=backend_obj.name, opt=opt,
-            bounds_checks=getattr(backend_obj, "bounds_checks", False),
-        )
-        hit = code_cache.lookup(
-            key, snapshot=snapshot, recv_shape=recv_shape, arg_shapes=arg_shapes
-        )
-        if hit is not None:
-            meta = hit.meta
-            report = JitReport(
-                translate_s=0.0,
-                backend_compile_s=0.0,
-                cached_lookup_s=time.perf_counter() - t0,
-                n_specializations=int(meta.get("n_specializations", 0)),
-                n_call_sites=int(meta.get("n_sites", 0)),
-                backend=str(meta.get("backend", backend_obj.name)),
-                opt=str(meta.get("opt", opt.value)),
-                cache_hit=True,
-                cache_tier=hit.tier,
-                opt_stats=dict(meta.get("opt_stats", {})),
-            )
-            return JitCode(hit.program, hit.compiled, report)
+def _translate(minfo, snapshot, recv_shape, arg_shapes):
+    """Lower one snapshotted call into a specialized Program (no backend).
 
+    Returns ``(program, opt_stats)``; the service layer owns the timing
+    and the surrounding cache/single-flight protocol.
+    """
     program = Program(snapshot=snapshot, recv_shape=recv_shape, arg_shapes=arg_shapes)
     specializer = Specializer(program)
     entry_spec = specializer.specialize(minfo, recv_shape, arg_shapes, device=False)
@@ -229,45 +286,47 @@ def _compile(receiver, method: str, args, *, backend: str, opt: OptLevel,
     from repro.frontend.verify import verify_program
 
     opt_stats = verify_program(program)
-    translate_s = time.perf_counter() - t0
+    return program, opt_stats
 
-    t1 = time.perf_counter()
-    compiled = backend_obj.compile(program, opt)
-    backend_s = time.perf_counter() - t1
 
-    report = JitReport(
-        translate_s=translate_s,
-        backend_compile_s=backend_s,
-        n_specializations=len(program.specializations),
-        n_call_sites=program.n_sites,
-        backend=backend_obj.name,
-        opt=opt.value,
-        opt_stats=opt_stats.as_dict(),
-        build_stats=dict(getattr(compiled, "build_stats", None) or {}),
+def _compile(receiver, method: str, args, *, backend: str, opt: OptLevel,
+             use_cache: bool, tiered: Optional[bool] = None) -> JitCode:
+    """Compile via the concurrency-safe service layer (see jit/service.py:
+    lock-protected cache tiers, single-flight dedup, tiered execution)."""
+    minfo = _resolve_minfo(receiver, method)
+    from repro.jit import service
+
+    return service.compile_program(
+        minfo, receiver, args, backend=backend, opt=opt,
+        use_cache=use_cache, tiered=tiered,
     )
-    if use_cache:
-        code_cache.store(key, program, compiled, report)
-    return JitCode(program, compiled, report)
 
 
 def jit(receiver, method: str, *args, backend: str = "auto",
-        opt: OptLevel = OptLevel.FULL, use_cache: bool = True) -> JitCode:
-    """Translate ``receiver.method(*args)`` for single-process execution."""
+        opt: OptLevel = OptLevel.FULL, use_cache: bool = True,
+        tiered: Optional[bool] = None) -> JitCode:
+    """Translate ``receiver.method(*args)`` for single-process execution.
+
+    ``tiered=True`` (or ``REPRO_TIERED=1``) returns immediately on the py
+    tier while the native artifact builds in the background — see
+    docs/JIT_SERVICE.md."""
     return _compile(receiver, method, args, backend=backend, opt=opt,
-                    use_cache=use_cache)
+                    use_cache=use_cache, tiered=tiered)
 
 
 def jit4mpi(receiver, method: str, *args, backend: str = "auto",
-            opt: OptLevel = OptLevel.FULL, use_cache: bool = True) -> JitCode:
+            opt: OptLevel = OptLevel.FULL, use_cache: bool = True,
+            tiered: Optional[bool] = None) -> JitCode:
     """Translate for MPI execution (call ``set4mpi`` before ``invoke``)."""
     return _compile(receiver, method, args, backend=backend, opt=opt,
-                    use_cache=use_cache)
+                    use_cache=use_cache, tiered=tiered)
 
 
 def jit4gpu(receiver, method: str, *args, backend: str = "auto",
-            opt: OptLevel = OptLevel.FULL, use_cache: bool = True) -> JitCode:
+            opt: OptLevel = OptLevel.FULL, use_cache: bool = True,
+            tiered: Optional[bool] = None) -> JitCode:
     """Translate a program whose kernels run on the (simulated) GPU."""
     code = _compile(receiver, method, args, backend=backend, opt=opt,
-                    use_cache=use_cache)
+                    use_cache=use_cache, tiered=tiered)
     code.set_gpu(M2050_MODEL)
     return code

@@ -1,0 +1,369 @@
+"""Concurrency-safe JIT service: single-flight compilation + tiered execution.
+
+The paper amortizes its 4–5 s JIT pause (Table 3) over one client calling
+``jit()`` once.  A serving system has N threads racing into the same cold
+key: without coordination each of them runs the translator *and* gcc, and
+the in-memory cache tier is read and written with no lock at all.  This
+module is the layer in front of ``engine._compile`` that fixes both, plus
+the tiered mode that hides the native-build pause entirely:
+
+* **Single-flight deduplication** — the first thread to miss on a
+  ``CacheKey`` becomes the *leader* and compiles; every other thread
+  requesting the same key joins the in-flight build and blocks until the
+  leader stores the artifact, then serves itself from the (lock-protected)
+  memory tier.  Exactly one translate+compile runs per unique key, no
+  matter how many threads collide.  The cache store happens *before* the
+  flight is retired, under the same lock that registers new flights, so a
+  late joiner can never slip between "store finished" and "flight gone"
+  and compile a second time.
+
+* **Tiered compilation** — ``jit(..., tiered=True)`` answers immediately
+  with a py-tier artifact (no external compiler on the critical path) and
+  submits the native build to a background worker pool; when it resolves,
+  the ``JitCode`` hot-swaps its artifact atomically w.r.t. ``invoke``.  A
+  failed native build degrades to the py tier with a recorded warning
+  (``JitCode.tier_warning``) instead of raising on the background thread.
+
+* **Observability** — per-phase counters (``compiles``, ``dedup_hits``,
+  ``inflight_waits``, ``tier_promotions``, ``tier_failures``, queue
+  depth) via :func:`stats`, surfaced by ``python -m repro jit stats`` and
+  the bench harness; per-request fields (``dedup_hit``,
+  ``inflight_wait_s``, ``tiered``, ``promotion``) on ``JitReport``.
+
+Environment:
+
+* ``REPRO_TIERED=1``      — make tiered mode the default for ``jit*()``;
+* ``REPRO_JIT_WORKERS=N`` — background native-build pool width
+  (default ``min(4, cpu_count)``).
+
+See docs/JIT_SERVICE.md for the full protocol.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.backends.base import OptLevel
+from repro.errors import JitError
+from repro.frontend.objectgraph import snapshot_args
+from repro.jit import cache as code_cache
+from repro.jit import engine as _engine
+
+__all__ = [
+    "compile_program",
+    "jit_workers",
+    "reset",
+    "stats",
+    "tiered_default",
+]
+
+
+class _Flight:
+    """One in-flight compilation: waiters block on ``done``; a failed
+    build parks its exception in ``exc`` for every waiter to re-raise."""
+
+    __slots__ = ("done", "exc")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.exc: Optional[BaseException] = None
+
+
+#: guards _FLIGHTS, _COUNTERS and the worker pool.  Lock order is always
+#: service lock -> cache._TIER_LOCK (via lookup/store); never the reverse.
+_LOCK = threading.Lock()
+
+#: cache-key digest -> in-flight compilation
+_FLIGHTS: dict[str, _Flight] = {}
+
+_COUNTERS = {
+    "requests": 0,          # compile_program calls
+    "compiles": 0,          # leader translate+compile runs (cache misses)
+    "dedup_hits": 0,        # requests served by another thread's compile
+    "inflight_waits": 0,    # blocking waits on an in-flight build
+    "inflight_wait_s": 0.0, # total seconds spent in those waits
+    "tiered_requests": 0,   # requests that took the tiered path
+    "tier_promotions": 0,   # background native builds hot-swapped in
+    "tier_failures": 0,     # background native builds that degraded
+    "queue_depth": 0,       # background builds submitted, not yet resolved
+    "max_queue_depth": 0,   # high-water mark of queue_depth
+}
+
+_POOL = None  # lazily-created ThreadPoolExecutor for background builds
+
+
+def jit_workers() -> int:
+    """Background native-build pool width (``REPRO_JIT_WORKERS``)."""
+    try:
+        n = int(os.environ.get("REPRO_JIT_WORKERS", ""))
+    except ValueError:
+        n = 0
+    return n if n > 0 else min(4, os.cpu_count() or 1)
+
+
+def tiered_default() -> bool:
+    """Whether ``jit*()`` defaults to tiered mode (``REPRO_TIERED``)."""
+    return os.environ.get("REPRO_TIERED", "") not in ("", "0", "false", "no")
+
+
+def _bump(name: str, by=1) -> None:
+    with _LOCK:
+        _COUNTERS[name] += by
+
+
+def _ensure_pool():
+    """The background build pool (caller must hold ``_LOCK``)."""
+    global _POOL
+    if _POOL is None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        _POOL = ThreadPoolExecutor(
+            max_workers=jit_workers(), thread_name_prefix="repro-jit"
+        )
+    return _POOL
+
+
+def stats() -> dict:
+    """Service counters plus current configuration."""
+    with _LOCK:
+        out = dict(_COUNTERS)
+    out["workers"] = jit_workers()
+    out["tiered_default"] = tiered_default()
+    return out
+
+
+def reset(wait: bool = True) -> None:
+    """Drain the background pool and zero the counters (test isolation)."""
+    global _POOL
+    with _LOCK:
+        pool = _POOL
+        _POOL = None
+    if pool is not None:
+        pool.shutdown(wait=wait)
+    with _LOCK:
+        _FLIGHTS.clear()
+        for k in _COUNTERS:
+            _COUNTERS[k] = 0
+
+
+# ---------------------------------------------------------------------------
+# the compile protocol
+# ---------------------------------------------------------------------------
+
+def compile_program(minfo, receiver, args, *, backend: str = "auto",
+                    opt: OptLevel = OptLevel.FULL, use_cache: bool = True,
+                    tiered: Optional[bool] = None) -> "_engine.JitCode":
+    """Compile ``receiver.<minfo>(*args)`` through the service layer.
+
+    This is what ``jit``/``jit4mpi``/``jit4gpu`` call; ``tiered=None``
+    falls back to the ``REPRO_TIERED`` default.
+    """
+    if tiered is None:
+        tiered = tiered_default()
+    # backend construction (and its import chain) is excluded from the
+    # timings, as before — it is process-lifetime cost, not per-program
+    backend_obj = _engine._make_backend(backend)
+    _bump("requests")
+    t0 = time.perf_counter()
+    snapshot, recv_shape, arg_shapes = snapshot_args(receiver, args)
+    snap_s = time.perf_counter() - t0
+    if tiered and backend_obj.native:
+        return _compile_tiered(minfo, snapshot, recv_shape, arg_shapes,
+                               backend_obj, opt, use_cache,
+                               snap_s=snap_s, t_start=t0)
+    return _compile_sync(minfo, snapshot, recv_shape, arg_shapes,
+                         backend_obj, opt, use_cache,
+                         snap_s=snap_s, t_start=t0)
+
+
+def _hit_report(hit, *, opt, elapsed_s: float, deduped: bool,
+                wait_s: float, tiered: bool) -> "_engine.JitReport":
+    """A warm-path JitReport, field-for-field comparable with a cold one
+    (``opt_stats`` *and* ``build_stats`` are restored from the entry meta,
+    whichever tier served it)."""
+    meta = hit.meta
+    return _engine.JitReport(
+        translate_s=0.0,
+        backend_compile_s=0.0,
+        cached_lookup_s=elapsed_s,
+        n_specializations=int(meta.get("n_specializations", 0)),
+        n_call_sites=int(meta.get("n_sites", 0)),
+        backend=str(meta.get("backend", "")),
+        opt=str(meta.get("opt", opt.value)),
+        cache_hit=True,
+        cache_tier=hit.tier,
+        dedup_hit=deduped,
+        inflight_wait_s=wait_s,
+        tiered=tiered,
+        opt_stats=dict(meta.get("opt_stats", {})),
+        build_stats=dict(meta.get("build_stats", {})),
+    )
+
+
+def _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt, *,
+           snap_s: float, probe_s: float) -> "_engine.JitCode":
+    """Translate + backend-compile, uncached (the leader's cold path)."""
+    _bump("compiles")
+    t1 = time.perf_counter()
+    program, opt_stats = _engine._translate(minfo, snapshot, recv_shape, arg_shapes)
+    translate_s = snap_s + (time.perf_counter() - t1)
+
+    t2 = time.perf_counter()
+    compiled = backend_obj.compile(program, opt)
+    backend_s = time.perf_counter() - t2
+
+    report = _engine.JitReport(
+        translate_s=translate_s,
+        backend_compile_s=backend_s,
+        cached_lookup_s=probe_s,
+        n_specializations=len(program.specializations),
+        n_call_sites=program.n_sites,
+        backend=backend_obj.name,
+        opt=opt.value,
+        opt_stats=opt_stats.as_dict(),
+        build_stats=dict(getattr(compiled, "build_stats", None) or {}),
+    )
+    return _engine.JitCode(program, compiled, report)
+
+
+def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
+                  use_cache: bool, *, snap_s: float,
+                  t_start: float) -> "_engine.JitCode":
+    """The lock-protected probe / single-flight / store protocol."""
+    if not use_cache:
+        return _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj,
+                      opt, snap_s=snap_s, probe_s=0.0)
+
+    p0 = time.perf_counter()
+    key = code_cache.program_key(
+        minfo, recv_shape, arg_shapes,
+        backend=backend_obj.name, opt=opt,
+        bounds_checks=getattr(backend_obj, "bounds_checks", False),
+    )
+    deduped = False
+    wait_s = 0.0
+    for _ in range(1000):  # re-probe loop; each pass waits on one flight
+        with _LOCK:
+            hit = code_cache.lookup(
+                key, snapshot=snapshot, recv_shape=recv_shape,
+                arg_shapes=arg_shapes,
+            )
+            if hit is None:
+                flight = _FLIGHTS.get(key.digest)
+                leader = flight is None
+                if leader:
+                    flight = _Flight()
+                    _FLIGHTS[key.digest] = flight
+                else:
+                    _COUNTERS["inflight_waits"] += 1
+        if hit is not None:
+            if deduped:
+                _bump("dedup_hits")
+            return _engine.JitCode(
+                hit.program, hit.compiled,
+                _hit_report(hit, opt=opt,
+                            elapsed_s=time.perf_counter() - t_start,
+                            deduped=deduped, wait_s=wait_s, tiered=False),
+            )
+        if leader:
+            probe_s = time.perf_counter() - p0
+            try:
+                code = _build(minfo, snapshot, recv_shape, arg_shapes,
+                              backend_obj, opt, snap_s=snap_s, probe_s=probe_s)
+                code.report.dedup_hit = deduped
+                code.report.inflight_wait_s = wait_s
+                with _LOCK:
+                    # store-then-retire under one lock: a joiner re-probing
+                    # after this flight vanishes is guaranteed to hit
+                    code_cache.store(key, code.program, code.compiled,
+                                     code.report)
+                    _FLIGHTS.pop(key.digest, None)
+            except BaseException as exc:
+                with _LOCK:
+                    flight.exc = exc
+                    _FLIGHTS.pop(key.digest, None)
+                flight.done.set()
+                raise
+            flight.done.set()
+            return code
+        # joiner: wait for the leader, then re-probe (served from memory)
+        w0 = time.perf_counter()
+        flight.done.wait()
+        waited = time.perf_counter() - w0
+        wait_s += waited
+        _bump("inflight_wait_s", waited)
+        if flight.exc is not None:
+            raise flight.exc
+        deduped = True
+    raise JitError("single-flight compilation did not converge")
+
+
+# ---------------------------------------------------------------------------
+# tiered compilation
+# ---------------------------------------------------------------------------
+
+def _compile_tiered(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
+                    use_cache: bool, *, snap_s: float,
+                    t_start: float) -> "_engine.JitCode":
+    """Answer on the py tier now; promote to ``backend_obj`` when its
+    background build lands (or degrade gracefully if it fails)."""
+    _bump("tiered_requests")
+    if use_cache:
+        # fast path: the native artifact may already be cached — no tiers
+        key = code_cache.program_key(
+            minfo, recv_shape, arg_shapes,
+            backend=backend_obj.name, opt=opt,
+            bounds_checks=getattr(backend_obj, "bounds_checks", False),
+        )
+        with _LOCK:
+            hit = code_cache.lookup(
+                key, snapshot=snapshot, recv_shape=recv_shape,
+                arg_shapes=arg_shapes,
+            )
+        if hit is not None:
+            return _engine.JitCode(
+                hit.program, hit.compiled,
+                _hit_report(hit, opt=opt,
+                            elapsed_s=time.perf_counter() - t_start,
+                            deduped=False, wait_s=0.0, tiered=True),
+            )
+
+    from repro.backends.pybackend import PyBackend
+
+    code = _compile_sync(minfo, snapshot, recv_shape, arg_shapes, PyBackend(),
+                         opt, use_cache, snap_s=snap_s, t_start=t_start)
+    code.report.tiered = True
+    code._begin_promotion()
+
+    def promote() -> None:
+        try:
+            native = _compile_sync(
+                minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
+                use_cache, snap_s=0.0, t_start=time.perf_counter(),
+            )
+        except BaseException as exc:  # noqa: BLE001 - degrade, never raise
+            _bump("tier_failures")
+            code._degrade(exc)
+        else:
+            code._promote(native)
+            _bump("tier_promotions")
+        finally:
+            with _LOCK:
+                _COUNTERS["queue_depth"] -= 1
+
+    with _LOCK:
+        _COUNTERS["queue_depth"] += 1
+        _COUNTERS["max_queue_depth"] = max(
+            _COUNTERS["max_queue_depth"], _COUNTERS["queue_depth"]
+        )
+        pool = _ensure_pool()
+    try:
+        pool.submit(promote)
+    except RuntimeError as exc:  # pool torn down (interpreter shutdown)
+        with _LOCK:
+            _COUNTERS["queue_depth"] -= 1
+        code._degrade(exc)
+    return code

@@ -33,3 +33,31 @@ class TestCli:
         assert main(["translate-demo", "--backend", "py"]) == 0
         out = capsys.readouterr().out
         assert "wj_StencilCPU3D_run" in out
+
+    def test_cache_clear_reports_removed_count(self, capsys, tmp_path,
+                                               monkeypatch):
+        from repro import jit
+        from repro.jit.engine import clear_code_cache
+        from tests.guestlib import ScaleAddSolver, Sweeper
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+        clear_code_cache()
+        jit(Sweeper(ScaleAddSolver(0.5), 19), "run", 2, backend="py")
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0 cache entries" in capsys.readouterr().out
+
+    def test_jit_stats(self, capsys):
+        from repro import jit
+        from repro.jit import service
+        from tests.guestlib import ScaleAddSolver, Sweeper
+
+        service.reset()
+        jit(Sweeper(ScaleAddSolver(0.5), 20), "run", 2, backend="py")
+        assert main(["jit", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "build workers" in out
+        assert "dedup hits" in out
+        assert "compiles          : 1" in out or "compiles         : 1" in out
+        service.reset()

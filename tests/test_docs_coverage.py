@@ -62,7 +62,9 @@ class TestShippedArtifacts:
             "README.md",
             "DESIGN.md",
             "EXPERIMENTS.md",
+            "docs/CACHING.md",
             "docs/GUEST_LANGUAGE.md",
+            "docs/JIT_SERVICE.md",
             "docs/SIMULATION.md",
             "examples/quickstart.py",
             "pyproject.toml",
