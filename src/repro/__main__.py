@@ -7,7 +7,9 @@
     python -m repro translate-demo             # show a sample translation
     python -m repro cache stats                # persistent code-cache state
     python -m repro cache clear                # drop both cache tiers
-    python -m repro jit stats                  # JIT service counters/config
+    python -m repro jit stats [--json]         # JIT service counters/config
+    python -m repro trace summarize [FILE]     # per-phase span breakdown
+    python -m repro trace export [FILE]        # Chrome/JSONL trace export
 """
 
 from __future__ import annotations
@@ -128,9 +130,14 @@ def cmd_cache(args) -> int:
 
 def cmd_jit(args) -> int:
     """Show the JIT service configuration and per-phase counters."""
+    import json
+
     from repro.jit import service
 
     st = service.stats()
+    if args.json:
+        print(json.dumps(st, indent=2, sort_keys=True))
+        return 0
     print(f"tiered default   : {'on (REPRO_TIERED)' if st['tiered_default'] else 'off'}")
     print(f"build workers    : {st['workers']}")
     print(f"requests         : {st['requests']}  "
@@ -143,6 +150,74 @@ def cmd_jit(args) -> int:
           f"(failures: {st['tier_failures']})")
     print(f"build queue      : depth {st['queue_depth']}, "
           f"high-water {st['max_queue_depth']}")
+    return 0
+
+
+#: compile-pipeline span names whose durations sum to ``JitReport.total_s``
+#: (nested spans like frontend.lower / cc.compile are excluded — they are
+#: already inside jit.translate / backend.compile)
+_PIPELINE_PHASES = ("jit.snapshot", "cache.key", "cache.probe",
+                    "jit.translate", "backend.compile")
+
+
+def _trace_demo() -> list:
+    """JIT + invoke the sample diffusion stencil under tracing; prints the
+    per-phase sum vs the ``JitReport`` wall-clock total and returns the
+    recorded spans (as dicts)."""
+    from repro import jit
+    from repro.library.stencil import (
+        EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,
+    )
+    from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+    from repro.obs import trace
+
+    was_enabled = trace.enabled()
+    trace.enable()
+    trace.clear()
+    app = StencilCPU3D(
+        make_dif3d_solver(), make_grid3d(8, 8, 6), ThreeDIndexer(8, 8, 6),
+        SineGen(8, 8, 4, 1), EmptyContext(),
+    )
+    code = jit(app, "run", 2)
+    code.invoke()
+    spans = [s.as_dict() for s in trace.spans()]
+    if not was_enabled:
+        trace.disable()
+
+    r = code.report
+    phase_sum = sum(s["dur_s"] for s in spans if s["name"] in _PIPELINE_PHASES)
+    delta_pct = (abs(phase_sum - r.total_s) / r.total_s * 100
+                 if r.total_s else 0.0)
+    invoke_s = sum(s["dur_s"] for s in spans if s["name"] == "jit.invoke")
+    print("== trace demo: diffusion stencil jit() + invoke() ==")
+    print(f"cache        : {'hit (' + r.cache_tier + ' tier)' if r.cache_hit else 'miss (cold compile)'}")
+    print(f"phase sum    : {phase_sum:.6f} s "
+          f"({' + '.join(_PIPELINE_PHASES)})")
+    print(f"JitReport    : {r.total_s:.6f} s total "
+          f"(delta {delta_pct:.2f}%)")
+    print(f"invoke wall  : {invoke_s:.6f} s")
+    print()
+    return spans
+
+
+def cmd_trace(args) -> int:
+    """Summarize or export tracing spans (no FILE: trace a live demo run)."""
+    from repro.obs import export as trace_export
+
+    if args.file:
+        records = trace_export.load_jsonl(args.file)
+    else:
+        records = _trace_demo()
+    if args.action == "export":
+        out = args.out or ("trace.json" if args.format == "chrome"
+                           else "trace.jsonl")
+        if args.format == "chrome":
+            n = trace_export.write_chrome(records, out)
+        else:
+            n = trace_export.write_jsonl(records, out)
+        print(f"wrote {n} spans to {out} ({args.format} format)")
+        return 0
+    print(trace_export.render_summary(records))
     return 0
 
 
@@ -185,7 +260,24 @@ def main(argv=None) -> int:
 
     p_jit = sub.add_parser("jit", help="JIT service counters and config")
     p_jit.add_argument("action", choices=["stats"])
+    p_jit.add_argument("--json", action="store_true",
+                       help="machine-readable output (scripts)")
     p_jit.set_defaults(fn=cmd_jit)
+
+    p_trace = sub.add_parser("trace",
+                             help="tracing spans: summarize or export")
+    p_trace.add_argument("action", choices=["summarize", "export"])
+    p_trace.add_argument("file", nargs="?", default=None,
+                         help="trace JSONL to read (default: run the "
+                              "diffusion-stencil demo under tracing)")
+    p_trace.add_argument("--format", choices=["chrome", "jsonl"],
+                         default="chrome",
+                         help="export format (chrome: load in "
+                              "chrome://tracing or Perfetto)")
+    p_trace.add_argument("-o", "--out", default=None,
+                         help="export output path (default: trace.json / "
+                              "trace.jsonl)")
+    p_trace.set_defaults(fn=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.fn(args)

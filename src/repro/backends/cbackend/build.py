@@ -29,6 +29,7 @@ from pathlib import Path
 
 from repro.backends.base import OptLevel
 from repro.errors import BackendError, CompilationUnavailable
+from repro.obs.trace import span as _span
 
 __all__ = [
     "BuildStats",
@@ -134,7 +135,23 @@ def build_shared_object(
     available, they are compiled concurrently and linked.  The artifact
     digest is always computed from the canonical ``source``, so both build
     modes hit the same cache entry.
+
+    The whole build runs under a ``cc.build`` tracing span; parallel mode
+    adds one ``cc.compile`` span per translation unit (on its pool thread)
+    and a ``cc.link`` span.
     """
+    with _span("cc.build") as sp:
+        path, stats = _build_impl(source, opt, units=units,
+                                  bounds_checks=bounds_checks)
+        sp.set(mode=stats.mode, units=stats.units, jobs=stats.jobs,
+               cached=stats.cached)
+        return path, stats
+
+
+def _build_impl(
+    source: str, opt: OptLevel, *, units: "list[str] | None",
+    bounds_checks: bool,
+) -> tuple[Path, BuildStats]:
     cc = _find_cc()
     if cc is None:
         raise CompilationUnavailable(
@@ -174,8 +191,9 @@ def build_shared_object(
         workers = min(jobs, len(units))
 
         def compile_unit(i: int) -> None:
-            _run_cc([cc, "-c", str(cache / f"wj_{digest}_u{i}.c"),
-                     "-o", str(obj_paths[i]), *unit_flags])
+            with _span("cc.compile", unit=i):
+                _run_cc([cc, "-c", str(cache / f"wj_{digest}_u{i}.c"),
+                         "-o", str(obj_paths[i]), *unit_flags])
 
         try:
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -183,8 +201,10 @@ def build_shared_object(
                 list(pool.map(compile_unit, range(len(units))))
             compile_s = time.perf_counter() - t_compile
             t_link = time.perf_counter()
-            _run_cc([cc, "-shared", "-fPIC",
-                     *[str(p) for p in obj_paths], "-o", str(tmp_out), "-lm"])
+            with _span("cc.link", units=len(units)):
+                _run_cc([cc, "-shared", "-fPIC",
+                         *[str(p) for p in obj_paths], "-o", str(tmp_out),
+                         "-lm"])
             link_s = time.perf_counter() - t_link
         finally:
             for p in obj_paths:
@@ -202,7 +222,8 @@ def build_shared_object(
     c_path = cache / f"wj_{digest}.c"
     c_path.write_text(source)
     t_compile = time.perf_counter()
-    _run_cc([cc, str(c_path), "-o", str(tmp_out), *flags])
+    with _span("cc.compile", unit=0):
+        _run_cc([cc, str(c_path), "-o", str(tmp_out), *flags])
     compile_s = time.perf_counter() - t_compile
     os.replace(tmp_out, so_path)
     return so_path, BuildStats(mode="single", compile_s=compile_s,

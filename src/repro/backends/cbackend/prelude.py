@@ -66,7 +66,23 @@ static inline int64_t wj_mod_i64(int64_t a, int64_t b) {
     int64_t r = a % b;
     return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
 }
-static inline double wj_floordiv_f64(double a, double b) { return floor(a / b); }
+/* floor(a/b) alone diverges from CPython when a/b underflows (subnormal a:
+ * -5e-324 // 3.0 is -1.0 in Python, but floor(-5e-324/3.0) == floor(-0.0)
+ * == -0.0).  Follow CPython's float_divmod: derive the quotient from fmod
+ * so it stays consistent with wj_mod_f64. */
+static inline double wj_floordiv_f64(double a, double b) {
+    double mod = fmod(a, b);
+    double div = (a - mod) / b;
+    if (mod != 0.0 && ((b < 0.0) != (mod < 0.0)))
+        div -= 1.0;
+    if (div != 0.0) {
+        double floordiv = floor(div);
+        if (div - floordiv > 0.5)
+            floordiv += 1.0;
+        return floordiv;
+    }
+    return copysign(0.0, a / b);
+}
 static inline double wj_mod_f64(double a, double b) {
     double r = fmod(a, b);
     return (r != 0.0 && ((r < 0.0) != (b < 0.0))) ? r + b : r;

@@ -30,7 +30,7 @@ from repro.baselines.comparators import (
     matmul_scaling,
     matmul_single,
 )
-from repro.bench.harness import Series
+from repro.bench.harness import Series, iteration_span
 from repro.bench.workloads import Workloads, current
 
 __all__ = [
@@ -48,7 +48,10 @@ def _single_series(exp_id: str, title: str, variants, runner) -> Series:
 
     def best(v):
         n = 1 if v == "java" else _repeats()
-        rows = [runner(v) for _ in range(n)]
+        rows = []
+        for i in range(n):
+            with iteration_span(exp_id, v, i):
+                rows.append(runner(v))
         return min(rows, key=lambda r: r.seconds)
 
     rows = {v: best(v) for v in variants}
@@ -136,7 +139,11 @@ def _scaling_series(exp_id, title, variants, ranks, runner, *, weak: bool) -> Se
         row = [p]
         times = {}
         for v in variants:
-            times[v] = min(runner(v, p).seconds for _ in range(_repeats()))
+            samples = []
+            for i in range(_repeats()):
+                with iteration_span(exp_id, v, i, ranks=p):
+                    samples.append(runner(v, p).seconds)
+            times[v] = min(samples)
             row.append(times[v])
         t_main = times[variants[-1]]
         if base is None:

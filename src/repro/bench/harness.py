@@ -1,5 +1,10 @@
 """Series/table plumbing shared by all benchmark drivers, plus the
-subprocess compile-time probe used by the warm-start cache benchmarks."""
+subprocess compile-time probe used by the warm-start cache benchmarks.
+
+Benchmark drivers wrap each measured repeat in :func:`iteration_span`, so
+running experiments under ``REPRO_TRACE=1`` yields per-iteration spans
+(and, through the instrumented pipeline underneath, per-phase latency
+histograms) alongside the rendered tables."""
 
 from __future__ import annotations
 
@@ -10,13 +15,23 @@ import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.trace import span as _span
+
 __all__ = [
     "Series",
     "compile_probe",
+    "iteration_span",
     "render_table",
     "results_dir",
     "save_series",
 ]
+
+
+def iteration_span(exp_id: str, variant: str, repeat: int = 0, **attrs):
+    """A ``bench.iteration`` tracing span for one measured repeat of one
+    experiment variant (no-op unless tracing is enabled)."""
+    return _span("bench.iteration", exp=exp_id, variant=variant,
+                 repeat=repeat, **attrs)
 
 
 def render_table(headers: list[str], rows: list[list]) -> str:

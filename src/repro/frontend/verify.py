@@ -25,6 +25,7 @@ from repro.errors import BackendError
 from repro.frontend import ir
 from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape
 from repro.lang import types as _t
+from repro.obs.trace import span as _span
 
 __all__ = ["OptStats", "verify_program"]
 
@@ -199,6 +200,9 @@ class _Verifier:
 def verify_program(program) -> OptStats:
     """Verify every specialization; returns aggregated optimization stats."""
     stats = OptStats()
-    for spec in program.specializations:
-        _Verifier(spec.func_ir, stats).block(spec.func_ir.body)
+    with _span("frontend.verify") as sp:
+        for spec in program.specializations:
+            _Verifier(spec.func_ir, stats).block(spec.func_ir.body)
+        sp.set(n_specializations=len(program.specializations),
+               devirtualized_calls=stats.devirtualized_calls)
     return stats

@@ -34,6 +34,7 @@ from repro.jit.specialize import Specializer
 from repro.lang import types as _t
 from repro.mpi.launcher import mpirun
 from repro.mpi.netmodel import NetworkModel, TSUBAME_NET
+from repro.obs.trace import span as _obs_span
 
 __all__ = ["jit", "jit4mpi", "jit4gpu", "JitCode", "JitReport", "InvokeResult"]
 
@@ -247,7 +248,8 @@ class JitCode:
             return value
 
         t0 = time.perf_counter()
-        res = mpirun(nranks, body, net=self.net, gpu_model=self.gpu_model)
+        with _obs_span("jit.invoke", backend=self._tier, nranks=nranks):
+            res = mpirun(nranks, body, net=self.net, gpu_model=self.gpu_model)
         wall = time.perf_counter() - t0
         return InvokeResult(
             value=res.returns[0],
@@ -280,9 +282,12 @@ def _translate(minfo, snapshot, recv_shape, arg_shapes):
     and the surrounding cache/single-flight protocol.
     """
     program = Program(snapshot=snapshot, recv_shape=recv_shape, arg_shapes=arg_shapes)
-    specializer = Specializer(program)
-    entry_spec = specializer.specialize(minfo, recv_shape, arg_shapes, device=False)
-    program.entry = entry_spec
+    with _obs_span("frontend.lower") as sp:
+        specializer = Specializer(program)
+        entry_spec = specializer.specialize(minfo, recv_shape, arg_shapes,
+                                            device=False)
+        program.entry = entry_spec
+        sp.set(n_specializations=len(program.specializations))
     from repro.frontend.verify import verify_program
 
     opt_stats = verify_program(program)

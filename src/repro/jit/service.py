@@ -24,11 +24,19 @@ the tiered mode that hides the native-build pause entirely:
   failed native build degrades to the py tier with a recorded warning
   (``JitCode.tier_warning``) instead of raising on the background thread.
 
-* **Observability** — per-phase counters (``compiles``, ``dedup_hits``,
-  ``inflight_waits``, ``tier_promotions``, ``tier_failures``, queue
-  depth) via :func:`stats`, surfaced by ``python -m repro jit stats`` and
-  the bench harness; per-request fields (``dedup_hit``,
-  ``inflight_wait_s``, ``tiered``, ``promotion``) on ``JitReport``.
+* **Observability** — the per-phase counters (``compiles``,
+  ``dedup_hits``, ``inflight_waits``, ``tier_promotions``,
+  ``tier_failures``, queue depth) live on the process-wide metrics
+  registry (:mod:`repro.obs.metrics`, names ``jit.*``) together with
+  per-phase latency histograms (``jit.phase.*``); :func:`stats` keeps
+  its historical dict shape and backs ``python -m repro jit stats``
+  (``--json`` for scripts).  Every pipeline step also opens a tracing
+  span (:mod:`repro.obs.trace` — ``jit.snapshot``, ``cache.key``,
+  ``cache.probe``, ``jit.translate``, ``backend.compile``,
+  ``cache.store``, ``jit.inflight_wait``, ``jit.tier_promote``), so
+  ``REPRO_TRACE=1`` yields a full flame graph of a compile.  Per-request
+  fields (``dedup_hit``, ``inflight_wait_s``, ``tiered``, ``promotion``)
+  stay on ``JitReport``.
 
 Environment:
 
@@ -51,10 +59,13 @@ from repro.errors import JitError
 from repro.frontend.objectgraph import snapshot_args
 from repro.jit import cache as code_cache
 from repro.jit import engine as _engine
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 
 __all__ = [
     "compile_program",
     "jit_workers",
+    "phase_metrics",
     "reset",
     "stats",
     "tiered_default",
@@ -72,24 +83,40 @@ class _Flight:
         self.exc: Optional[BaseException] = None
 
 
-#: guards _FLIGHTS, _COUNTERS and the worker pool.  Lock order is always
+#: guards _FLIGHTS and the worker pool.  Lock order is always
 #: service lock -> cache._TIER_LOCK (via lookup/store); never the reverse.
+#: (the metrics below lock themselves, finer-grained)
 _LOCK = threading.Lock()
 
 #: cache-key digest -> in-flight compilation
 _FLIGHTS: dict[str, _Flight] = {}
 
+_M = _metrics.registry()
+
+#: the historical counter names, now backed by the metrics registry
+#: (``jit.<name>`` there); :func:`stats` still reports these exact keys
 _COUNTERS = {
-    "requests": 0,          # compile_program calls
-    "compiles": 0,          # leader translate+compile runs (cache misses)
-    "dedup_hits": 0,        # requests served by another thread's compile
-    "inflight_waits": 0,    # blocking waits on an in-flight build
-    "inflight_wait_s": 0.0, # total seconds spent in those waits
-    "tiered_requests": 0,   # requests that took the tiered path
-    "tier_promotions": 0,   # background native builds hot-swapped in
-    "tier_failures": 0,     # background native builds that degraded
-    "queue_depth": 0,       # background builds submitted, not yet resolved
-    "max_queue_depth": 0,   # high-water mark of queue_depth
+    name: _M.counter(f"jit.{name}")
+    for name in (
+        "requests",         # compile_program calls
+        "compiles",         # leader translate+compile runs (cache misses)
+        "dedup_hits",       # requests served by another thread's compile
+        "inflight_waits",   # blocking waits on an in-flight build
+        "inflight_wait_s",  # total seconds spent in those waits
+        "tiered_requests",  # requests that took the tiered path
+        "tier_promotions",  # background native builds hot-swapped in
+        "tier_failures",    # background native builds that degraded
+    )
+}
+
+#: background builds submitted but not yet resolved (+ high-water mark)
+_QUEUE_DEPTH = _M.gauge("jit.queue_depth")
+
+#: per-phase latency distributions (the paper's Table 3, as histograms)
+_PHASE_HIST = {
+    name: _M.histogram(f"jit.phase.{name}")
+    for name in ("translate_s", "backend_compile_s", "cached_lookup_s",
+                 "inflight_wait_s")
 }
 
 _POOL = None  # lazily-created ThreadPoolExecutor for background builds
@@ -110,8 +137,7 @@ def tiered_default() -> bool:
 
 
 def _bump(name: str, by=1) -> None:
-    with _LOCK:
-        _COUNTERS[name] += by
+    _COUNTERS[name].inc(by)
 
 
 def _ensure_pool():
@@ -127,12 +153,24 @@ def _ensure_pool():
 
 
 def stats() -> dict:
-    """Service counters plus current configuration."""
+    """Service counters plus current configuration.
+
+    The dict shape is stable (scripts and the CLI consume it); the whole
+    snapshot — counters *and* the ``workers``/``tiered_default``
+    configuration — is taken under the service lock, so a concurrent
+    ``reset()`` or env flip cannot produce a torn half-old/half-new view."""
     with _LOCK:
-        out = dict(_COUNTERS)
-    out["workers"] = jit_workers()
-    out["tiered_default"] = tiered_default()
+        out = {name: c.value for name, c in _COUNTERS.items()}
+        out["queue_depth"] = _QUEUE_DEPTH.value
+        out["max_queue_depth"] = _QUEUE_DEPTH.max
+        out["workers"] = jit_workers()
+        out["tiered_default"] = tiered_default()
     return out
+
+
+def phase_metrics() -> dict:
+    """Per-phase latency histograms (``jit.phase.*``), as snapshots."""
+    return _M.snapshot("jit.phase.")
 
 
 def reset(wait: bool = True) -> None:
@@ -145,8 +183,7 @@ def reset(wait: bool = True) -> None:
         pool.shutdown(wait=wait)
     with _LOCK:
         _FLIGHTS.clear()
-        for k in _COUNTERS:
-            _COUNTERS[k] = 0
+        _M.reset("jit.")
 
 
 # ---------------------------------------------------------------------------
@@ -168,7 +205,8 @@ def compile_program(minfo, receiver, args, *, backend: str = "auto",
     backend_obj = _engine._make_backend(backend)
     _bump("requests")
     t0 = time.perf_counter()
-    snapshot, recv_shape, arg_shapes = snapshot_args(receiver, args)
+    with _span("jit.snapshot"):
+        snapshot, recv_shape, arg_shapes = snapshot_args(receiver, args)
     snap_s = time.perf_counter() - t0
     if tiered and backend_obj.native:
         return _compile_tiered(minfo, snapshot, recv_shape, arg_shapes,
@@ -185,6 +223,7 @@ def _hit_report(hit, *, opt, elapsed_s: float, deduped: bool,
     (``opt_stats`` *and* ``build_stats`` are restored from the entry meta,
     whichever tier served it)."""
     meta = hit.meta
+    _PHASE_HIST["cached_lookup_s"].observe(elapsed_s)
     return _engine.JitReport(
         translate_s=0.0,
         backend_compile_s=0.0,
@@ -208,12 +247,18 @@ def _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt, *,
     """Translate + backend-compile, uncached (the leader's cold path)."""
     _bump("compiles")
     t1 = time.perf_counter()
-    program, opt_stats = _engine._translate(minfo, snapshot, recv_shape, arg_shapes)
+    with _span("jit.translate"):
+        program, opt_stats = _engine._translate(minfo, snapshot, recv_shape,
+                                                arg_shapes)
     translate_s = snap_s + (time.perf_counter() - t1)
 
     t2 = time.perf_counter()
-    compiled = backend_obj.compile(program, opt)
+    with _span("backend.compile", backend=backend_obj.name, opt=opt.value):
+        compiled = backend_obj.compile(program, opt)
     backend_s = time.perf_counter() - t2
+    _PHASE_HIST["translate_s"].observe(translate_s)
+    _PHASE_HIST["backend_compile_s"].observe(backend_s)
+    _PHASE_HIST["cached_lookup_s"].observe(probe_s)
 
     report = _engine.JitReport(
         translate_s=translate_s,
@@ -238,27 +283,31 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
                       opt, snap_s=snap_s, probe_s=0.0)
 
     p0 = time.perf_counter()
-    key = code_cache.program_key(
-        minfo, recv_shape, arg_shapes,
-        backend=backend_obj.name, opt=opt,
-        bounds_checks=getattr(backend_obj, "bounds_checks", False),
-    )
+    with _span("cache.key"):
+        key = code_cache.program_key(
+            minfo, recv_shape, arg_shapes,
+            backend=backend_obj.name, opt=opt,
+            bounds_checks=getattr(backend_obj, "bounds_checks", False),
+        )
     deduped = False
     wait_s = 0.0
     for _ in range(1000):  # re-probe loop; each pass waits on one flight
-        with _LOCK:
-            hit = code_cache.lookup(
-                key, snapshot=snapshot, recv_shape=recv_shape,
-                arg_shapes=arg_shapes,
-            )
-            if hit is None:
-                flight = _FLIGHTS.get(key.digest)
-                leader = flight is None
-                if leader:
-                    flight = _Flight()
-                    _FLIGHTS[key.digest] = flight
-                else:
-                    _COUNTERS["inflight_waits"] += 1
+        with _span("cache.probe") as probe_sp:
+            with _LOCK:
+                hit = code_cache.lookup(
+                    key, snapshot=snapshot, recv_shape=recv_shape,
+                    arg_shapes=arg_shapes,
+                )
+                if hit is None:
+                    flight = _FLIGHTS.get(key.digest)
+                    leader = flight is None
+                    if leader:
+                        flight = _Flight()
+                        _FLIGHTS[key.digest] = flight
+                    else:
+                        _COUNTERS["inflight_waits"].inc()
+            probe_sp.set(hit=hit is not None,
+                         tier=hit.tier if hit is not None else "miss")
         if hit is not None:
             if deduped:
                 _bump("dedup_hits")
@@ -275,7 +324,7 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
                               backend_obj, opt, snap_s=snap_s, probe_s=probe_s)
                 code.report.dedup_hit = deduped
                 code.report.inflight_wait_s = wait_s
-                with _LOCK:
+                with _span("cache.store"), _LOCK:
                     # store-then-retire under one lock: a joiner re-probing
                     # after this flight vanishes is guaranteed to hit
                     code_cache.store(key, code.program, code.compiled,
@@ -291,10 +340,12 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
             return code
         # joiner: wait for the leader, then re-probe (served from memory)
         w0 = time.perf_counter()
-        flight.done.wait()
+        with _span("jit.inflight_wait", key=key.digest[:12]):
+            flight.done.wait()
         waited = time.perf_counter() - w0
         wait_s += waited
         _bump("inflight_wait_s", waited)
+        _PHASE_HIST["inflight_wait_s"].observe(waited)
         if flight.exc is not None:
             raise flight.exc
         deduped = True
@@ -313,16 +364,20 @@ def _compile_tiered(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
     _bump("tiered_requests")
     if use_cache:
         # fast path: the native artifact may already be cached — no tiers
-        key = code_cache.program_key(
-            minfo, recv_shape, arg_shapes,
-            backend=backend_obj.name, opt=opt,
-            bounds_checks=getattr(backend_obj, "bounds_checks", False),
-        )
-        with _LOCK:
-            hit = code_cache.lookup(
-                key, snapshot=snapshot, recv_shape=recv_shape,
-                arg_shapes=arg_shapes,
+        with _span("cache.key"):
+            key = code_cache.program_key(
+                minfo, recv_shape, arg_shapes,
+                backend=backend_obj.name, opt=opt,
+                bounds_checks=getattr(backend_obj, "bounds_checks", False),
             )
+        with _span("cache.probe") as probe_sp:
+            with _LOCK:
+                hit = code_cache.lookup(
+                    key, snapshot=snapshot, recv_shape=recv_shape,
+                    arg_shapes=arg_shapes,
+                )
+            probe_sp.set(hit=hit is not None,
+                         tier=hit.tier if hit is not None else "miss")
         if hit is not None:
             return _engine.JitCode(
                 hit.program, hit.compiled,
@@ -339,31 +394,29 @@ def _compile_tiered(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
     code._begin_promotion()
 
     def promote() -> None:
-        try:
-            native = _compile_sync(
-                minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
-                use_cache, snap_s=0.0, t_start=time.perf_counter(),
-            )
-        except BaseException as exc:  # noqa: BLE001 - degrade, never raise
-            _bump("tier_failures")
-            code._degrade(exc)
-        else:
-            code._promote(native)
-            _bump("tier_promotions")
-        finally:
-            with _LOCK:
-                _COUNTERS["queue_depth"] -= 1
+        with _span("jit.tier_promote", backend=backend_obj.name) as sp:
+            try:
+                native = _compile_sync(
+                    minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
+                    use_cache, snap_s=0.0, t_start=time.perf_counter(),
+                )
+            except BaseException as exc:  # noqa: BLE001 - degrade, never raise
+                _bump("tier_failures")
+                sp.set(outcome="degraded")
+                code._degrade(exc)
+            else:
+                code._promote(native)
+                _bump("tier_promotions")
+                sp.set(outcome="promoted")
+            finally:
+                _QUEUE_DEPTH.dec()
 
+    _QUEUE_DEPTH.inc()
     with _LOCK:
-        _COUNTERS["queue_depth"] += 1
-        _COUNTERS["max_queue_depth"] = max(
-            _COUNTERS["max_queue_depth"], _COUNTERS["queue_depth"]
-        )
         pool = _ensure_pool()
     try:
         pool.submit(promote)
     except RuntimeError as exc:  # pool torn down (interpreter shutdown)
-        with _LOCK:
-            _COUNTERS["queue_depth"] -= 1
+        _QUEUE_DEPTH.dec()
         code._degrade(exc)
     return code

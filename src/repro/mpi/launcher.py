@@ -17,6 +17,7 @@ from typing import Callable, Optional
 from repro.errors import MpiError
 from repro.mpi.comm import Communicator, RankContext
 from repro.mpi.netmodel import NetworkModel, TSUBAME_NET
+from repro.obs.trace import span as _span
 
 __all__ = ["mpirun", "MpiRunResult"]
 
@@ -63,36 +64,41 @@ def mpirun(
     def run_rank(ctx: RankContext):
         from repro import rt
 
-        rt.current.mpi_ctx = ctx
-        rt.current.outputs = None
-        ctx.acquire_token()
-        ctx.clock.start()
-        try:
-            returns[ctx.rank] = body(ctx)
-            ctx.clock.sync_cpu()
-        except BaseException as exc:
-            errors.append((ctx.rank, exc))
-            comm.abort(exc)
-        finally:
-            ctx.release_token()
-            ctx.outputs.update(rt.current.take_outputs())
-            rt.current.mpi_ctx = None
+        with _span("mpi.rank", rank=ctx.rank):
+            rt.current.mpi_ctx = ctx
+            rt.current.outputs = None
+            ctx.acquire_token()
+            ctx.clock.start()
+            try:
+                returns[ctx.rank] = body(ctx)
+                ctx.clock.sync_cpu()
+            except BaseException as exc:
+                errors.append((ctx.rank, exc))
+                comm.abort(exc)
+            finally:
+                ctx.release_token()
+                ctx.outputs.update(rt.current.take_outputs())
+                rt.current.mpi_ctx = None
 
-    if nranks == 1:
-        # run in-thread: cheap, and keeps single-rank benches allocation-free
-        run_rank(ctxs[0])
-    else:
-        threads = [
-            threading.Thread(target=run_rank, args=(ctx,), daemon=True, name=f"rank-{ctx.rank}")
-            for ctx in ctxs
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=timeout_s)
-            if t.is_alive():
-                comm.abort(MpiError(f"rank thread {t.name} timed out"))
-                raise MpiError(f"mpirun timed out after {timeout_s}s ({t.name})")
+    with _span("mpi.run", nranks=nranks):
+        if nranks == 1:
+            # run in-thread: cheap, keeps single-rank benches allocation-free
+            run_rank(ctxs[0])
+        else:
+            threads = [
+                threading.Thread(target=run_rank, args=(ctx,), daemon=True,
+                                 name=f"rank-{ctx.rank}")
+                for ctx in ctxs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=timeout_s)
+                if t.is_alive():
+                    comm.abort(MpiError(f"rank thread {t.name} timed out"))
+                    raise MpiError(
+                        f"mpirun timed out after {timeout_s}s ({t.name})"
+                    )
     if errors:
         rank, exc = errors[0]
         raise MpiError(f"rank {rank} failed: {exc!r}") from exc

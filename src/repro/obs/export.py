@@ -1,0 +1,150 @@
+"""Span export and aggregation: JSONL, Chrome trace format, phase summary.
+
+Three consumers of recorded spans (:func:`repro.obs.trace.spans` or a
+JSONL trace file):
+
+* :func:`write_jsonl` / :func:`load_jsonl` — one JSON object per line,
+  the same schema :data:`repro.obs.trace.Span.as_dict` produces;
+* :func:`chrome_trace` / :func:`write_chrome` — Chrome trace-event
+  format (complete ``"ph": "X"`` events, microsecond timeline): load the
+  file in ``chrome://tracing`` or https://ui.perfetto.dev for a flame
+  graph of the JIT pipeline;
+* :func:`phase_summary` / :func:`render_summary` — per-phase aggregation
+  (count / total / mean / min / max seconds), grouping spans by name and
+  by the ``tier`` attribute when present (so cache hits per tier read
+  directly off the table) — this backs ``python -m repro trace
+  summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = [
+    "chrome_trace",
+    "load_jsonl",
+    "phase_summary",
+    "render_summary",
+    "write_chrome",
+    "write_jsonl",
+]
+
+
+def _as_dict(span) -> dict:
+    return span if isinstance(span, dict) else span.as_dict()
+
+
+def write_jsonl(spans, path) -> int:
+    """Write spans as JSON-lines to ``path``; returns the span count."""
+    records = [_as_dict(s) for s in spans]
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, default=repr) + "\n")
+    return len(records)
+
+
+def load_jsonl(path) -> list:
+    """Read a JSONL trace file back into a list of span dicts (blank
+    lines are skipped; raises ``ValueError`` on a malformed line)."""
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{i}: malformed trace line") from exc
+    return out
+
+
+def chrome_trace(spans) -> dict:
+    """Spans as a Chrome trace-event document (``{"traceEvents": [...]}``).
+
+    Timestamps are the spans' shared ``perf_counter`` timeline in
+    microseconds; thread names become ``thread_name`` metadata events."""
+    events = []
+    threads = {}
+    for s in spans:
+        rec = _as_dict(s)
+        tid = rec.get("tid") or 0
+        threads.setdefault(tid, rec.get("thread", str(tid)))
+        args = dict(rec.get("attrs") or {})
+        args["span_id"] = rec.get("span_id")
+        if rec.get("parent_id") is not None:
+            args["parent_id"] = rec["parent_id"]
+        events.append({
+            "name": rec["name"],
+            "ph": "X",
+            "ts": rec["t_start"] * 1e6,
+            "dur": rec["dur_s"] * 1e6,
+            "pid": os.getpid(),
+            "tid": tid,
+            "args": args,
+        })
+    for tid, name in threads.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": os.getpid(),
+            "tid": tid,
+            "args": {"name": name},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans, path) -> int:
+    """Write the Chrome trace-event document to ``path``; returns the
+    number of duration events written."""
+    doc = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, default=repr)
+    return sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+
+
+def _group_key(rec: dict) -> str:
+    attrs = rec.get("attrs") or {}
+    tier = attrs.get("tier")
+    return f"{rec['name']}[{tier}]" if tier else rec["name"]
+
+
+def phase_summary(spans) -> list:
+    """Aggregate spans into per-phase rows, largest total first.
+
+    Each row: ``{"phase", "count", "total_s", "mean_s", "min_s",
+    "max_s"}``.  Spans carrying a ``tier`` attribute are split out per
+    tier (``cache.probe[memory]`` vs ``cache.probe[disk]``)."""
+    groups: dict[str, list] = {}
+    for s in spans:
+        rec = _as_dict(s)
+        groups.setdefault(_group_key(rec), []).append(rec["dur_s"])
+    rows = []
+    for phase, durs in groups.items():
+        rows.append({
+            "phase": phase,
+            "count": len(durs),
+            "total_s": sum(durs),
+            "mean_s": sum(durs) / len(durs),
+            "min_s": min(durs),
+            "max_s": max(durs),
+        })
+    rows.sort(key=lambda r: r["total_s"], reverse=True)
+    return rows
+
+
+def render_summary(spans) -> str:
+    """The phase summary as an aligned monospace table."""
+    rows = phase_summary(spans)
+    headers = ["phase", "count", "total_s", "mean_s", "min_s", "max_s"]
+    cells = [headers, ["-" * len(h) for h in headers]]
+    for r in rows:
+        cells.append([
+            r["phase"], str(r["count"]), f"{r['total_s']:.6f}",
+            f"{r['mean_s']:.6f}", f"{r['min_s']:.6f}", f"{r['max_s']:.6f}",
+        ])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    return "\n".join(
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    )

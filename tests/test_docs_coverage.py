@@ -65,6 +65,7 @@ class TestShippedArtifacts:
             "docs/CACHING.md",
             "docs/GUEST_LANGUAGE.md",
             "docs/JIT_SERVICE.md",
+            "docs/OBSERVABILITY.md",
             "docs/SIMULATION.md",
             "examples/quickstart.py",
             "pyproject.toml",

@@ -206,11 +206,14 @@ class TestVirtualClock:
         n = 1 << 18  # 2 MiB of f64: bandwidth term dwarfs local allocation
 
         def body(ctx):
-            data = np.zeros(n)
-            out = np.zeros(n)
+            # the receiver must reach recv() with less measured compute than
+            # the sender, or the model (correctly) overlaps the transfer with
+            # local work and charges less than the full bandwidth term
             if ctx.rank == 0:
+                data = np.zeros(n)
                 ctx.comm.send(ctx, data, 1, 0)
             else:
+                out = np.empty(n)
                 ctx.comm.recv(ctx, out, 0, 0)
             return ctx.clock.comm_time
 
