@@ -1,0 +1,77 @@
+"""Mid-end pass pipeline: before/after code size and run time.
+
+The deterministic half (IR/emitted-C statement counts per pass config,
+from ``repro.opt.report``) is written to ``benchmarks/results/``
+verbatim — it contains no timings, so the committed file is stable
+across hosts.  The timing half runs the diffusion stencil with the
+pipeline off and on and asserts the optimized program is not slower
+(LICM hoists ``sin`` calls and index arithmetic out of the inner
+loops, so it is normally measurably faster).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+_TIMED = r"""
+import json, sys, time
+from repro import jit
+from repro.library.stencil import (
+    EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,
+)
+from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+
+app = StencilCPU3D(
+    make_dif3d_solver(), make_grid3d(32, 32, 18), ThreeDIndexer(32, 32, 18),
+    SineGen(32, 32, 16, 1), EmptyContext(),
+)
+code = jit(app, "run", 8, use_cache=False)
+code.invoke()  # warm up (first call may fault in pages / ctypes thunks)
+best = min(
+    (lambda t0: (code.invoke(), time.perf_counter() - t0)[1])(
+        time.perf_counter())
+    for _ in range(5)
+)
+print(json.dumps({"best_s": best, "value": code.invoke().value}))
+"""
+
+
+def _timed_run(passes: str) -> dict:
+    import json
+
+    env = dict(os.environ, REPRO_OPT_PASSES=passes, REPRO_DISK_CACHE="0")
+    env["PYTHONPATH"] = str(Path(__file__).parent.parent / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _TIMED], env=env, capture_output=True,
+        text=True, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_opt_passes_report():
+    """Persist the deterministic before/after statement counts and check
+    the pipeline actually shrinks the emitted C."""
+    from repro.opt.report import collect, render
+
+    data = collect()
+    RESULTS.mkdir(exist_ok=True)
+    text = render(data)
+    (RESULTS / "opt_report.txt").write_text(text)
+    print()
+    print(text)
+    for name, d in data.items():
+        assert d["after"]["c_stmts"] < d["before"]["c_stmts"], name
+
+
+def test_opt_passes_not_slower(benchmark):
+    """Stencil wall clock with the mid-end on must not regress (generous
+    1.25x margin for timer noise on shared CI hosts)."""
+    off = _timed_run("0")
+    on = benchmark.pedantic(
+        lambda: _timed_run("1"), rounds=1, iterations=1,
+    )
+    assert on["value"] == off["value"]  # bit-identical result
+    assert on["best_s"] <= off["best_s"] * 1.25

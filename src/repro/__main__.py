@@ -8,6 +8,7 @@
     python -m repro cache stats                # persistent code-cache state
     python -m repro cache clear                # drop both cache tiers
     python -m repro jit stats [--json]         # JIT service counters/config
+    python -m repro opt report [--json]        # mid-end pass before/after
     python -m repro trace summarize [FILE]     # per-phase span breakdown
     python -m repro trace export [FILE]        # Chrome/JSONL trace export
 """
@@ -153,6 +154,20 @@ def cmd_jit(args) -> int:
     return 0
 
 
+def cmd_opt(args) -> int:
+    """Report the mid-end pipeline's effect on the demo programs."""
+    import json
+
+    from repro.opt import report as opt_report
+
+    data = opt_report.collect()
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    print(opt_report.render(data))
+    return 0
+
+
 #: compile-pipeline span names whose durations sum to ``JitReport.total_s``
 #: (nested spans like frontend.lower / cc.compile are excluded — they are
 #: already inside jit.translate / backend.compile)
@@ -263,6 +278,12 @@ def main(argv=None) -> int:
     p_jit.add_argument("--json", action="store_true",
                        help="machine-readable output (scripts)")
     p_jit.set_defaults(fn=cmd_jit)
+
+    p_opt = sub.add_parser("opt", help="mid-end optimizer pass report")
+    p_opt.add_argument("action", choices=["report"])
+    p_opt.add_argument("--json", action="store_true",
+                       help="machine-readable output (scripts)")
+    p_opt.set_defaults(fn=cmd_opt)
 
     p_trace = sub.add_parser("trace",
                              help="tracing spans: summarize or export")

@@ -20,11 +20,12 @@ class CBackend(Backend):
     def __init__(self, *, bounds_checks: bool | None = None):
         # the paper's translated code has no array bounds checks (§3.3
         # "Other issues"); a debug build can turn them on (also via
-        # REPRO_BOUNDS=1)
-        import os
+        # REPRO_BOUNDS=1).  env_flag fixes the old parser, which treated
+        # "false"/"no" as truthy.
+        from repro.env import env_flag
 
         if bounds_checks is None:
-            bounds_checks = os.environ.get("REPRO_BOUNDS", "") not in ("", "0")
+            bounds_checks = env_flag("REPRO_BOUNDS", default=False)
         self.bounds_checks = bounds_checks
 
     def compile(self, program: Program, opt: OptLevel) -> CompiledProgram:

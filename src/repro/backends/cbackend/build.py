@@ -112,7 +112,9 @@ def _build_jobs() -> int:
 
 
 def _parallel_enabled() -> bool:
-    return os.environ.get("REPRO_PARALLEL_CC", "1") not in ("0", "false", "no")
+    from repro.env import env_flag
+
+    return env_flag("REPRO_PARALLEL_CC", default=True)
 
 
 def _run_cc(cmd: list[str]) -> None:

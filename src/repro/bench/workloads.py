@@ -17,7 +17,9 @@ __all__ = ["Workloads", "current"]
 
 
 def paper_sizes() -> bool:
-    return os.environ.get("REPRO_PAPER_SIZES", "") not in ("", "0", "false")
+    from repro.env import env_flag
+
+    return env_flag("REPRO_PAPER_SIZES", default=False)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,8 @@ __all__ = [
     "NewObj", "KernelLaunch",
     "LocalDecl", "Assign", "FieldStore", "ArrayStore", "If", "ForRange",
     "While", "Return", "ExprStmt", "Break", "Continue",
+    "expr_children", "map_expr", "rewrite_stmt_exprs", "stmt_blocks",
+    "stmt_exprs", "assigned_names", "walk_exprs",
 ]
 
 
@@ -355,6 +357,147 @@ class FuncIR:
     is_kernel: bool = False          # the @global_kernel entry itself
 
 
+# ---------------------------------------------------------------------------
+# Traversal / rewrite helpers (used by the backends and the optimizer)
+# ---------------------------------------------------------------------------
+
+def expr_children(node: Expr) -> list:
+    """The direct sub-expressions of ``node``, in evaluation order."""
+    if isinstance(node, FieldLoad):
+        return [node.obj]
+    if isinstance(node, ArrayLoad):
+        return [node.arr, node.index]
+    if isinstance(node, ArrayLen):
+        return [node.arr]
+    if isinstance(node, (BinOp, Compare)):
+        return [node.left, node.right]
+    if isinstance(node, UnaryOp):
+        return [node.operand]
+    if isinstance(node, BoolOp):
+        return list(node.values)
+    if isinstance(node, Cast):
+        return [node.value]
+    if isinstance(node, Call):
+        return ([node.recv] if node.recv is not None else []) + list(node.args)
+    if isinstance(node, IntrinsicCall):
+        return list(node.args)
+    if isinstance(node, NewObj):
+        return list(node.field_inits.values())
+    if isinstance(node, KernelLaunch):
+        return (([node.recv] if node.recv is not None else [])
+                + [node.config] + list(node.args))
+    return []
+
+
+def map_expr(node: Expr, fn) -> Expr:
+    """Rewrite an expression tree bottom-up.
+
+    ``fn`` is applied to every node *after* its children have been
+    rewritten in place; whatever ``fn`` returns replaces the node.  The
+    tree is mutated (children reattached), and the (possibly new) root is
+    returned — callers must store the result back into the parent slot.
+    """
+    if isinstance(node, FieldLoad):
+        node.obj = map_expr(node.obj, fn)
+    elif isinstance(node, ArrayLoad):
+        node.arr = map_expr(node.arr, fn)
+        node.index = map_expr(node.index, fn)
+    elif isinstance(node, ArrayLen):
+        node.arr = map_expr(node.arr, fn)
+    elif isinstance(node, (BinOp, Compare)):
+        node.left = map_expr(node.left, fn)
+        node.right = map_expr(node.right, fn)
+    elif isinstance(node, UnaryOp):
+        node.operand = map_expr(node.operand, fn)
+    elif isinstance(node, BoolOp):
+        node.values = [map_expr(v, fn) for v in node.values]
+    elif isinstance(node, Cast):
+        node.value = map_expr(node.value, fn)
+    elif isinstance(node, Call):
+        if node.recv is not None:
+            node.recv = map_expr(node.recv, fn)
+        node.args = [map_expr(a, fn) for a in node.args]
+    elif isinstance(node, IntrinsicCall):
+        node.args = [map_expr(a, fn) for a in node.args]
+    elif isinstance(node, NewObj):
+        node.field_inits = {
+            k: map_expr(v, fn) for k, v in node.field_inits.items()
+        }
+    elif isinstance(node, KernelLaunch):
+        if node.recv is not None:
+            node.recv = map_expr(node.recv, fn)
+        node.config = map_expr(node.config, fn)
+        node.args = [map_expr(a, fn) for a in node.args]
+    return fn(node)
+
+
+def stmt_exprs(s: Stmt) -> list:
+    """The top-level expressions of one statement (no recursion into
+    nested statement blocks — see :func:`stmt_blocks` for those)."""
+    if isinstance(s, (LocalDecl, Assign, ExprStmt)):
+        return [s.value]
+    if isinstance(s, FieldStore):
+        return [s.obj, s.value]
+    if isinstance(s, ArrayStore):
+        return [s.arr, s.index, s.value]
+    if isinstance(s, (If, While)):
+        return [s.cond]
+    if isinstance(s, ForRange):
+        return [s.start, s.stop] + ([s.step] if s.step is not None else [])
+    if isinstance(s, Return):
+        return [s.value] if s.value is not None else []
+    return []
+
+
+def rewrite_stmt_exprs(s: Stmt, fn) -> None:
+    """Apply ``map_expr(..., fn)`` to every top-level expression slot of
+    one statement, storing the results back (nested blocks untouched)."""
+    if isinstance(s, (LocalDecl, Assign, ExprStmt)):
+        s.value = map_expr(s.value, fn)
+    elif isinstance(s, FieldStore):
+        s.obj = map_expr(s.obj, fn)
+        s.value = map_expr(s.value, fn)
+    elif isinstance(s, ArrayStore):
+        s.arr = map_expr(s.arr, fn)
+        s.index = map_expr(s.index, fn)
+        s.value = map_expr(s.value, fn)
+    elif isinstance(s, (If, While)):
+        s.cond = map_expr(s.cond, fn)
+    elif isinstance(s, ForRange):
+        s.start = map_expr(s.start, fn)
+        s.stop = map_expr(s.stop, fn)
+        if s.step is not None:
+            s.step = map_expr(s.step, fn)
+    elif isinstance(s, Return):
+        if s.value is not None:
+            s.value = map_expr(s.value, fn)
+
+
+def stmt_blocks(s: Stmt) -> list:
+    """The nested statement lists of one statement (mutable, in place)."""
+    if isinstance(s, If):
+        return [s.then, s.orelse]
+    if isinstance(s, (ForRange, While)):
+        return [s.body]
+    return []
+
+
+def assigned_names(stmts) -> set:
+    """Every local name stored to anywhere in a statement list (including
+    loop variables and stores inside nested blocks)."""
+    names: set = set()
+    stack = list(stmts)
+    while stack:
+        s = stack.pop()
+        if isinstance(s, (LocalDecl, Assign)):
+            names.add(s.name)
+        elif isinstance(s, ForRange):
+            names.add(s.var)
+        for block in stmt_blocks(s):
+            stack.extend(block)
+    return names
+
+
 def walk_exprs(node):
     """Yield every Expr in a statement list / expression tree (pre-order)."""
     if isinstance(node, list):
@@ -363,58 +506,11 @@ def walk_exprs(node):
         return
     if isinstance(node, Expr):
         yield node
-        children = []
-        if isinstance(node, FieldLoad):
-            children = [node.obj]
-        elif isinstance(node, ArrayLoad):
-            children = [node.arr, node.index]
-        elif isinstance(node, ArrayLen):
-            children = [node.arr]
-        elif isinstance(node, BinOp):
-            children = [node.left, node.right]
-        elif isinstance(node, UnaryOp):
-            children = [node.operand]
-        elif isinstance(node, Compare):
-            children = [node.left, node.right]
-        elif isinstance(node, BoolOp):
-            children = node.values
-        elif isinstance(node, Cast):
-            children = [node.value]
-        elif isinstance(node, Call):
-            children = ([node.recv] if node.recv is not None else []) + node.args
-        elif isinstance(node, IntrinsicCall):
-            children = node.args
-        elif isinstance(node, NewObj):
-            children = list(node.field_inits.values())
-        elif isinstance(node, KernelLaunch):
-            children = ([node.recv] if node.recv is not None else []) + [node.config] + node.args
-        for child in children:
+        for child in expr_children(node):
             yield from walk_exprs(child)
         return
     if isinstance(node, Stmt):
-        if isinstance(node, (LocalDecl, Assign)):
-            yield from walk_exprs(node.value)
-        elif isinstance(node, FieldStore):
-            yield from walk_exprs(node.obj)
-            yield from walk_exprs(node.value)
-        elif isinstance(node, ArrayStore):
-            for child in (node.arr, node.index, node.value):
-                yield from walk_exprs(child)
-        elif isinstance(node, If):
-            yield from walk_exprs(node.cond)
-            yield from walk_exprs(node.then)
-            yield from walk_exprs(node.orelse)
-        elif isinstance(node, ForRange):
-            yield from walk_exprs(node.start)
-            yield from walk_exprs(node.stop)
-            if node.step is not None:
-                yield from walk_exprs(node.step)
-            yield from walk_exprs(node.body)
-        elif isinstance(node, While):
-            yield from walk_exprs(node.cond)
-            yield from walk_exprs(node.body)
-        elif isinstance(node, Return):
-            if node.value is not None:
-                yield from walk_exprs(node.value)
-        elif isinstance(node, ExprStmt):
-            yield from walk_exprs(node.value)
+        for e in stmt_exprs(node):
+            yield from walk_exprs(e)
+        for block in stmt_blocks(node):
+            yield from walk_exprs(block)

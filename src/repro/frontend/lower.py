@@ -1061,6 +1061,23 @@ def _dispatch_interface(cls: _t.ClassInfo, mname: str) -> _t.ClassInfo:
 
 
 def _fold_binop(op: str, a, b, res: _t.PrimType):
+    """Fold a constant binary op, or return None to decline.
+
+    Guest semantics place arithmetic faults at *run* time, so a constant
+    zero divisor must not raise here at translation time — the expression
+    is left unfolded and the backends evaluate (and fault) when the
+    program runs.  ``**`` declines whenever Python's result would not be
+    exact under the result type: a negative constant exponent under an
+    integer result would fold a float into an int slot, and huge exponents
+    would eat memory folding numbers no kernel means to embed.
+    """
+    if op in ("/", "//", "%") and b == 0:
+        return None  # runtime ZeroDivisionError, not a translation error
+    if op == "**":
+        if b < 0 and not res.is_float:
+            return None  # int ** -n is a float; don't fold under int
+        if abs(b) > 1024:
+            return None
     if op == "+":
         v = a + b
     elif op == "-":

@@ -27,7 +27,7 @@ from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape
 from repro.lang import types as _t
 from repro.obs.trace import span as _span
 
-__all__ = ["OptStats", "verify_program"]
+__all__ = ["OptStats", "verify_func", "verify_program"]
 
 
 @dataclass
@@ -195,6 +195,17 @@ class _Verifier:
             self.expr(e.recv)
         for a in e.args:
             self.expr(a)
+
+
+def verify_func(func_ir, stats: OptStats | None = None) -> OptStats:
+    """Verify one specialized function (types/shapes/def-before-use).
+
+    This is the re-check the optimizer pipeline runs after every pass —
+    a pass that breaks an invariant raises :class:`BackendError` here
+    instead of miscompiling silently in a backend."""
+    stats = stats if stats is not None else OptStats()
+    _Verifier(func_ir, stats).block(func_ir.body)
+    return stats
 
 
 def verify_program(program) -> OptStats:

@@ -246,6 +246,8 @@ def program_key(minfo, recv_shape: ObjShape, arg_shapes, *, backend: str,
     for s in arg_shapes:
         _shape_classes(s, roots)
     guest, persistable = guest_source_digest(roots)
+    from repro.opt import pipeline_token
+
     material = {
         "v": _FORMAT_VERSION,
         "repro": repro.__version__,
@@ -257,6 +259,10 @@ def program_key(minfo, recv_shape: ObjShape, arg_shapes, *, backend: str,
         "args": [s.digest() for s in arg_shapes],
         "backend": backend,
         "opt": opt.value,
+        # the mid-end configuration shapes the emitted artifact, so it MUST
+        # key the cache: toggling REPRO_OPT_PASSES can never reuse a stale
+        # artifact built under a different pass set
+        "opt_passes": pipeline_token(opt),
         "bounds": bool(bounds_checks),
         "cc": _cc_version() if backend == "c" else "",
     }
@@ -280,7 +286,9 @@ def cache_dir() -> Path:
 
 def disk_enabled() -> bool:
     """Whether the persistent tier is active (``REPRO_DISK_CACHE=0`` off)."""
-    return os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "false", "no")
+    from repro.env import env_flag
+
+    return env_flag("REPRO_DISK_CACHE", default=True)
 
 
 def _sha256_file(path: Path) -> str:

@@ -275,22 +275,32 @@ def _resolve_minfo(receiver, method: str):
     return minfo
 
 
-def _translate(minfo, snapshot, recv_shape, arg_shapes):
+def _translate(minfo, snapshot, recv_shape, arg_shapes, opt=None):
     """Lower one snapshotted call into a specialized Program (no backend).
 
-    Returns ``(program, opt_stats)``; the service layer owns the timing
-    and the surrounding cache/single-flight protocol.
+    Returns ``(program, opt_stats)`` with ``opt_stats`` as a plain dict;
+    the service layer owns the timing and the surrounding
+    cache/single-flight protocol.  When ``opt`` is ``OptLevel.FULL`` the
+    mid-end pass pipeline (see :mod:`repro.opt`) runs over every
+    specialization as it finishes lowering; the comparator modes
+    (VIRTUAL/DEVIRT/NOVIRT) are left untouched so they keep measuring
+    abstraction cost.
     """
+    from repro.opt import pipeline_for
+
+    pipeline = pipeline_for(opt) if opt is not None else None
     program = Program(snapshot=snapshot, recv_shape=recv_shape, arg_shapes=arg_shapes)
     with _obs_span("frontend.lower") as sp:
-        specializer = Specializer(program)
+        specializer = Specializer(program, pipeline=pipeline)
         entry_spec = specializer.specialize(minfo, recv_shape, arg_shapes,
                                             device=False)
         program.entry = entry_spec
         sp.set(n_specializations=len(program.specializations))
     from repro.frontend.verify import verify_program
 
-    opt_stats = verify_program(program)
+    opt_stats = verify_program(program).as_dict()
+    if pipeline is not None:
+        opt_stats["pipeline"] = pipeline.stats_dict()
     return program, opt_stats
 
 

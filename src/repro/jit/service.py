@@ -133,7 +133,9 @@ def jit_workers() -> int:
 
 def tiered_default() -> bool:
     """Whether ``jit*()`` defaults to tiered mode (``REPRO_TIERED``)."""
-    return os.environ.get("REPRO_TIERED", "") not in ("", "0", "false", "no")
+    from repro.env import env_flag
+
+    return env_flag("REPRO_TIERED", default=False)
 
 
 def _bump(name: str, by=1) -> None:
@@ -249,7 +251,7 @@ def _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt, *,
     t1 = time.perf_counter()
     with _span("jit.translate"):
         program, opt_stats = _engine._translate(minfo, snapshot, recv_shape,
-                                                arg_shapes)
+                                                arg_shapes, opt=opt)
     translate_s = snap_s + (time.perf_counter() - t1)
 
     t2 = time.perf_counter()
@@ -268,7 +270,7 @@ def _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt, *,
         n_call_sites=program.n_sites,
         backend=backend_obj.name,
         opt=opt.value,
-        opt_stats=opt_stats.as_dict(),
+        opt_stats=opt_stats,
         build_stats=dict(getattr(compiled, "build_stats", None) or {}),
     )
     return _engine.JitCode(program, compiled, report)

@@ -67,8 +67,12 @@ class Specializer:
     """Drives lowering; implements the engine protocol lowering expects
     (``specialize`` and ``new_site_id``)."""
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, pipeline=None):
         self.program = program
+        #: optional mid-end pass pipeline (repro.opt.Pipeline); runs over
+        #: each specialization right after it lowers — post-order, so a
+        #: callee is already optimized when its caller's pipeline runs
+        self.pipeline = pipeline
         self._cache: dict[tuple, Specialization] = {}
         self._counter = 0
         # methods currently being lowered: any re-entry — even with
@@ -119,6 +123,8 @@ class Specializer:
             self._lowering_stack.pop()
         func_ir.symbol = symbol
         spec.func_ir = func_ir
+        if self.pipeline is not None:
+            self.pipeline.run_func(func_ir)
         # post-order append: callees land before callers
         self.program.specializations.append(spec)
         self._scan_platform_use(func_ir)

@@ -249,7 +249,9 @@ def clear() -> None:
 
 
 def _env_truthy(name: str) -> bool:
-    return os.environ.get(name, "") not in ("", "0", "false", "no")
+    from repro.env import env_flag
+
+    return env_flag(name, default=False)
 
 
 if _env_truthy("REPRO_TRACE") or os.environ.get("REPRO_TRACE_FILE"):

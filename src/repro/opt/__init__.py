@@ -1,0 +1,31 @@
+"""Mid-end IR optimizer.
+
+A pass pipeline over :class:`~repro.frontend.ir.FuncIR` that runs
+between lowering and backend emission — dead-code elimination,
+common-subexpression elimination (array index/address math), loop
+invariant code motion, and algebraic simplification — with the IR
+verifier re-run after every pass.  See ``docs/OPTIMIZER.md``.
+"""
+
+from repro.opt.passes import cse_func, dce_func, fold_func, licm_func
+from repro.opt.pipeline import (
+    PASS_ORDER,
+    OptPassError,
+    Pipeline,
+    config_from_env,
+    pipeline_for,
+    pipeline_token,
+)
+
+__all__ = [
+    "PASS_ORDER",
+    "OptPassError",
+    "Pipeline",
+    "config_from_env",
+    "cse_func",
+    "dce_func",
+    "fold_func",
+    "licm_func",
+    "pipeline_for",
+    "pipeline_token",
+]

@@ -1,0 +1,734 @@
+"""The mid-end optimizer passes.
+
+Each pass is a function ``(func_ir, ctx) -> int`` that rewrites one
+:class:`~repro.frontend.ir.FuncIR` *in place* and returns how many
+rewrites it performed (statements removed, expressions replaced, values
+hoisted).  ``ctx`` is the :class:`~repro.opt.pipeline.Pipeline` driving
+the run; passes use it only for fresh temp names.
+
+All passes are **bit-exactness preserving**: the 56-program random
+differential harness compares optimized output against the interpreter
+down to the last IEEE-754 bit, so no transformation here may change a
+float result even in the last ulp, reorder a fault past a side effect it
+used to follow, or introduce a fault on a path that did not fault before.
+The concrete consequences:
+
+* no float algebraic identities that are not bit-exact (``x + 0.0`` is
+  *not* an identity — it loses ``-0.0``; ``x * 1.0`` and ``x - 0.0``
+  are exact and allowed);
+* ``/``, ``//`` and ``%`` participate in CSE/LICM only with a non-zero
+  constant divisor (they cannot fault then); ``**`` never does;
+* math intrinsics are hoisted out of a loop only when the loop provably
+  runs at least one iteration (``math.sqrt``/``math.log`` can raise on
+  the py backend, and a zero-trip loop must not start raising);
+* field loads are hoisted only for snapshot *array* fields that no
+  statement in the loop — including transitively through calls — stores
+  to (double-buffer ``swap`` methods do exactly such stores).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.backends.base import is_pure
+from repro.frontend import ir
+from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape
+from repro.lang import types as _t
+
+__all__ = ["fold_func", "dce_func", "cse_func", "licm_func"]
+
+
+# ---------------------------------------------------------------------------
+# shared machinery
+# ---------------------------------------------------------------------------
+
+#: intrinsics that are deterministic pure functions of their arguments
+#: (safe to deduplicate; hoisting additionally needs a trip-count proof,
+#: because some raise on the py backend for special operands)
+_PURE_INTRINSIC_PREFIXES = ("math.",)
+_PURE_INTRINSIC_KEYS = frozenset({"builtin.abs", "builtin.min", "builtin.max"})
+
+
+def _pure_intrinsic(key: str) -> bool:
+    return key in _PURE_INTRINSIC_KEYS or key.startswith(
+        _PURE_INTRINSIC_PREFIXES
+    )
+
+
+def _const_val(e: ir.Expr):
+    """The value of a Const node (None for anything else)."""
+    return e.value if isinstance(e, ir.Const) else None
+
+
+def _nonzero_const(e: ir.Expr) -> bool:
+    v = _const_val(e)
+    return v is not None and v != 0
+
+
+def _snapshot_array_load(e: ir.Expr) -> bool:
+    """A FieldLoad of an *array* field of a snapshot object with a known
+    root path (the only FieldLoads the optimizer may move)."""
+    return (
+        isinstance(e, ir.FieldLoad)
+        and isinstance(e.shape, ArrayShape)
+        and isinstance(e.obj.shape, ObjShape)
+        and e.obj.shape.from_snapshot
+        and e.obj.shape.root_path is not None
+        and is_pure(e.obj)
+    )
+
+
+def _expr_key(e: ir.Expr):
+    """A structural hash key for value-numbering, or None when the node is
+    outside the closed set of expressions CSE/LICM may duplicate or move.
+
+    ``repr`` is used for float constants so ``0.0`` and ``-0.0`` (which
+    compare equal) get distinct keys — substituting one for the other
+    would change result bits.
+    """
+    if isinstance(e, ir.Const):
+        return ("const", id(e.prim), repr(e.value))
+    if isinstance(e, ir.LocalRef):
+        return ("local", e.name)
+    if isinstance(e, ir.BinOp):
+        if e.op == "**":
+            return None  # py-backend ** may raise OverflowError; never move
+        if e.op in ("/", "//", "%") and not _nonzero_const(e.right):
+            return None  # a moving divisor must be provably non-zero
+        kl, kr = _expr_key(e.left), _expr_key(e.right)
+        if kl is None or kr is None:
+            return None
+        return ("bin", e.op, id(e.res), kl, kr)
+    if isinstance(e, ir.UnaryOp):
+        k = _expr_key(e.operand)
+        return None if k is None else ("un", e.op, id(e.res), k)
+    if isinstance(e, ir.Compare):
+        kl, kr = _expr_key(e.left), _expr_key(e.right)
+        if kl is None or kr is None:
+            return None
+        return ("cmp", e.op, kl, kr)
+    if isinstance(e, ir.BoolOp):
+        ks = [_expr_key(v) for v in e.values]
+        if any(k is None for k in ks):
+            return None
+        return ("bool", e.op, tuple(ks))
+    if isinstance(e, ir.Cast):
+        k = _expr_key(e.value)
+        return None if k is None else ("cast", id(e.to), k)
+    if isinstance(e, ir.ArrayLen):
+        k = _expr_key(e.arr)
+        return None if k is None else ("len", k)
+    if isinstance(e, ir.FieldLoad):
+        if not _snapshot_array_load(e):
+            return None
+        k = _expr_key(e.obj)
+        if k is None and isinstance(e.obj, ir.FieldLoad):
+            k = ("obj", e.obj.shape.root_path)
+        if k is None:
+            return None
+        return ("field", k, e.fname)
+    if isinstance(e, ir.IntrinsicCall):
+        if not _pure_intrinsic(e.key):
+            return None
+        ks = [_expr_key(a) for a in e.args]
+        if any(k is None for k in ks):
+            return None
+        return ("intr", e.key, tuple(map(repr, e.const_args)), tuple(ks))
+    return None
+
+
+def _contains_intrinsic(e: ir.Expr) -> bool:
+    return any(isinstance(x, ir.IntrinsicCall) for x in ir.walk_exprs(e))
+
+
+def _used_locals(e: ir.Expr) -> frozenset:
+    return frozenset(
+        x.name for x in ir.walk_exprs(e) if isinstance(x, ir.LocalRef)
+    )
+
+
+def _candidate_root(e: ir.Expr) -> bool:
+    """Whether ``e`` is *worth* naming as a temp (key-able is checked
+    separately): a real computation, not a bare leaf or cheap wrapper."""
+    return isinstance(
+        e, (ir.BinOp, ir.Compare, ir.BoolOp, ir.ArrayLen, ir.IntrinsicCall)
+    ) or _snapshot_array_load(e)
+
+
+def _movable(e: ir.Expr):
+    """Key of a CSE/LICM candidate root, or None."""
+    if not _candidate_root(e):
+        return None
+    s = e.shape
+    if isinstance(s, PrimShape) and s.const is not None:
+        return None  # backends fold this to a literal; naming it regresses
+    return _expr_key(e)
+
+
+def _make_ref(name: str, proto: ir.Expr) -> ir.LocalRef:
+    """A reference to the temp holding ``proto``'s value (array shapes are
+    shared so the backend keeps seeing the snapshot slot)."""
+    if isinstance(proto.shape, ArrayShape):
+        return ir.LocalRef(name, proto.ty, proto.shape)
+    return ir.LocalRef(name, proto.ty, PrimShape(proto.ty))
+
+
+def _child_slots(e: ir.Expr):
+    """(child, setter) pairs for every direct sub-expression of ``e``."""
+    out = []
+    for attr in ("obj", "arr", "index", "left", "right", "operand",
+                 "value", "recv", "config"):
+        child = getattr(e, attr, None)
+        if isinstance(child, ir.Expr):
+            out.append((child, _AttrSet(e, attr)))
+    for attr in ("values", "args"):
+        lst = getattr(e, attr, None)
+        if isinstance(lst, list):
+            for i, child in enumerate(lst):
+                out.append((child, _ItemSet(lst, i)))
+    inits = getattr(e, "field_inits", None)
+    if isinstance(inits, dict):
+        for k, child in inits.items():
+            out.append((child, _ItemSet(inits, k)))
+    return out
+
+
+class _AttrSet:
+    __slots__ = ("obj", "attr")
+
+    def __init__(self, obj, attr):
+        self.obj, self.attr = obj, attr
+
+    def __call__(self, new):
+        setattr(self.obj, self.attr, new)
+
+
+class _ItemSet:
+    __slots__ = ("container", "key")
+
+    def __init__(self, container, key):
+        self.container, self.key = container, key
+
+    def __call__(self, new):
+        self.container[self.key] = new
+
+
+def _replace_by_key(e: ir.Expr, mapping: dict) -> ir.Expr:
+    """Top-down maximal-munch substitution: any subtree whose key is in
+    ``mapping`` becomes a reference to its temp."""
+    hit = mapping.get(_movable(e))
+    if hit is not None:
+        return _make_ref(hit[0], hit[1])
+    for child, set_ in _child_slots(e):
+        set_(_replace_by_key(child, mapping))
+    return e
+
+
+# ---------------------------------------------------------------------------
+# pass: fold — algebraic simplification / constant materialization
+# ---------------------------------------------------------------------------
+
+def _neg_zero(v) -> bool:
+    return isinstance(v, float) and v == 0.0 and math.copysign(1.0, v) < 0
+
+
+def _fold_node(e: ir.Expr, count) -> ir.Expr:
+    # materialize lowering's constant shapes as literal Const nodes so the
+    # later passes (and DCE's dead-store scan) see through them
+    s = e.shape
+    if (
+        not isinstance(e, ir.Const)
+        and isinstance(s, PrimShape)
+        and s.const is not None
+        and is_pure(e)
+    ):
+        count()
+        return ir.Const(s.const, s.ty)
+
+    if isinstance(e, ir.BinOp):
+        lv, rv = _const_val(e.left), _const_val(e.right)
+        res = e.res
+        if e.op == "+" and not res.is_float:
+            if rv == 0 and e.left.ty is res:
+                count()
+                return e.left
+            if lv == 0 and e.right.ty is res:
+                count()
+                return e.right
+        elif e.op == "-" and rv == 0 and e.left.ty is res:
+            # float x - 0.0 is exact for every x (including -0.0); x - (-0.0)
+            # is x + 0.0, which is *not* (it maps -0.0 to +0.0)
+            if not (res.is_float and _neg_zero(rv)):
+                count()
+                return e.left
+        elif e.op == "*":
+            if rv == 1 and e.left.ty is res:
+                count()
+                return e.left
+            if lv == 1 and e.right.ty is res:
+                count()
+                return e.right
+            if not res.is_float:
+                if rv == 0 and is_pure(e.left):
+                    count()
+                    return ir.Const(res(0), res)
+                if lv == 0 and is_pure(e.right):
+                    count()
+                    return ir.Const(res(0), res)
+        elif e.op == "/" and rv == 1 and e.left.ty is res:
+            count()
+            return e.left
+        elif e.op == "//" and rv == 1 and not res.is_float and e.left.ty is res:
+            count()
+            return e.left
+        elif e.op == "%" and rv == 1 and not res.is_float and is_pure(e.left):
+            count()
+            return ir.Const(res(0), res)
+        return e
+
+    if isinstance(e, ir.UnaryOp) and e.op == "not":
+        v = _const_val(e.operand)
+        if v is not None:
+            count()
+            return ir.Const(not v, _t.BOOL)
+        return e
+
+    if isinstance(e, ir.Compare):
+        lv, rv = _const_val(e.left), _const_val(e.right)
+        if (
+            lv is not None
+            and rv is not None
+            and e.left.ty.is_float == e.right.ty.is_float
+        ):
+            count()
+            op = e.op
+            v = (lv < rv if op == "<" else lv <= rv if op == "<="
+                 else lv > rv if op == ">" else lv >= rv if op == ">="
+                 else lv == rv if op == "==" else lv != rv)
+            return ir.Const(bool(v), _t.BOOL)
+        return e
+
+    if isinstance(e, ir.BoolOp):
+        vals = [_const_val(v) for v in e.values]
+        if all(v is not None for v in vals):
+            count()
+            out = all(vals) if e.op == "and" else any(vals)
+            return ir.Const(bool(out), _t.BOOL)
+        return e
+
+    return e
+
+
+def fold_func(f: ir.FuncIR, ctx) -> int:
+    """Constant materialization + bit-exact algebraic simplification."""
+    n = 0
+
+    def count():
+        nonlocal n
+        n += 1
+
+    def fn(e):
+        return _fold_node(e, count)
+
+    def block(stmts):
+        for s in stmts:
+            ir.rewrite_stmt_exprs(s, fn)
+            for b in ir.stmt_blocks(s):
+                block(b)
+
+    block(f.body)
+    return n
+
+
+# ---------------------------------------------------------------------------
+# pass: dce — dead code elimination
+# ---------------------------------------------------------------------------
+
+def _read_names(stmts) -> set:
+    return {e.name for e in ir.walk_exprs(stmts) if isinstance(e, ir.LocalRef)}
+
+
+def _const_range_empty(s: ir.ForRange) -> bool:
+    start, stop = _const_val(s.start), _const_val(s.stop)
+    if start is None or stop is None:
+        return False
+    if s.step is None:
+        return start >= stop
+    step = _const_val(s.step)
+    if step is None or step == 0:  # step 0 raises at run time; keep it
+        return False
+    return start >= stop if step > 0 else start <= stop
+
+
+def _removable_loop(s: ir.ForRange, reads: set) -> bool:
+    """An empty-bodied counted loop with no observable effects."""
+    if s.body or s.var in reads:
+        return False
+    for e in (s.start, s.stop, *( [s.step] if s.step is not None else [] )):
+        if not is_pure(e):
+            return False
+    # a constant 0 step raises ValueError on the py backend — keep it
+    if s.step is not None and not _nonzero_const(s.step):
+        return False
+    return True
+
+
+def _dce_block(stmts: list, reads: set) -> int:
+    removed = 0
+    out = []
+    pending = list(stmts)
+    for pos, s in enumerate(pending):
+        for b in ir.stmt_blocks(s):
+            removed += _dce_block(b, reads)
+
+        if isinstance(s, ir.If):
+            cv = _const_val(s.cond)
+            if cv is not None:
+                taken = s.then if cv else s.orelse
+                out.extend(taken)
+                removed += 1
+                continue
+            if not s.then and not s.orelse and is_pure(s.cond):
+                removed += 1
+                continue
+        elif isinstance(s, ir.While):
+            cv = _const_val(s.cond)
+            if cv is not None and not cv:
+                removed += 1
+                continue
+        elif isinstance(s, ir.ForRange):
+            if _const_range_empty(s) or _removable_loop(s, reads):
+                removed += 1
+                continue
+        elif isinstance(s, (ir.LocalDecl, ir.Assign)):
+            if s.name not in reads:
+                removed += 1
+                if not is_pure(s.value):
+                    out.append(ir.ExprStmt(s.value))
+                continue
+        elif isinstance(s, ir.ExprStmt):
+            if is_pure(s.value):
+                removed += 1
+                continue
+
+        out.append(s)
+        if isinstance(s, (ir.Return, ir.Break, ir.Continue)):
+            removed += len(pending) - pos - 1  # unreachable tail
+            break
+    stmts[:] = out
+    return removed
+
+
+def dce_func(f: ir.FuncIR, ctx) -> int:
+    """Remove dead stores, unreachable statements, constant branches, and
+    effect-free loops/statements (to a fixpoint)."""
+    removed = 0
+    for _ in range(10):
+        reads = _read_names(f.body)
+        n = _dce_block(f.body, reads)
+        removed += n
+        if n == 0:
+            break
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# pass: cse — block-local common subexpression elimination
+# ---------------------------------------------------------------------------
+
+class _Namer:
+    """Deterministic fresh temp names (never colliding with guest locals)."""
+
+    def __init__(self, f: ir.FuncIR, prefix: str):
+        self.taken = set(f.param_names) | ir.assigned_names(f.body)
+        self.prefix = prefix
+        self.n = 0
+
+    def fresh(self) -> str:
+        while True:
+            name = f"{self.prefix}{self.n}"
+            self.n += 1
+            if name not in self.taken:
+                self.taken.add(name)
+                return name
+
+
+def _cse_slots(s: ir.Stmt) -> list:
+    """The expression slots CSE may process: evaluated exactly once per
+    execution of the statement.  A While condition re-evaluates, so it is
+    excluded (its subexpressions are handled when LICM proves invariance)."""
+    if isinstance(s, ir.While):
+        return []
+    return [(s, slot) for slot in _slot_names(s)]
+
+
+def _slot_names(s: ir.Stmt) -> list:
+    if isinstance(s, (ir.LocalDecl, ir.Assign, ir.ExprStmt)):
+        return ["value"]
+    if isinstance(s, ir.FieldStore):
+        return ["obj", "value"]
+    if isinstance(s, ir.ArrayStore):
+        return ["arr", "index", "value"]
+    if isinstance(s, (ir.If, ir.While)):
+        return ["cond"]
+    if isinstance(s, ir.ForRange):
+        return ["start", "stop"] + (["step"] if s.step is not None else [])
+    if isinstance(s, ir.Return):
+        return ["value"] if s.value is not None else []
+    return []
+
+
+class _CseBlock:
+    """Forward value-numbering over one straight-line statement list.
+
+    The first sighting of a candidate registers a *pending* entry holding
+    the expression and a setter for its site; the second sighting
+    materializes ``__cseN = <expr>`` immediately before the first site's
+    statement and rewrites both sites to the temp.  Only *maximal*
+    candidate subtrees are registered, so no two live entries ever share
+    tree nodes (which keeps def-before-use trivially correct).
+    """
+
+    def __init__(self, namer: _Namer):
+        self.namer = namer
+        self.rewrites = 0
+        self.effects_memo: dict = {}
+
+    def run(self, stmts: list) -> None:
+        avail: dict = {}
+        out: list = []
+        for s in stmts:
+            for owner, attr in _cse_slots(s):
+                child = getattr(owner, attr)
+                if isinstance(child, ir.Expr):
+                    self._rw(child, _AttrSet(owner, attr), avail, out)
+            for b in ir.stmt_blocks(s):
+                self.run(b)
+            out.append(s)
+            self._invalidate(s, avail)
+        stmts[:] = out
+
+    def _invalidate(self, s: ir.Stmt, avail: dict) -> None:
+        stored = ir.assigned_names([s])
+        # a statement that stores fields — directly or through any call it
+        # makes (double-buffer swaps!) — kills entries caching a FieldLoad
+        field_eff = _field_effects([s], self.effects_memo)
+        for k in list(avail):
+            ent = avail[k]
+            if stored and (ent["uses"] & stored):
+                del avail[k]
+            elif ent["fields"] and (
+                field_eff is None or (ent["fields"] & field_eff)
+            ):
+                del avail[k]
+
+    def _rw(self, e: ir.Expr, set_, avail: dict, out: list) -> None:
+        k = _movable(e)
+        if k is not None:
+            ent = avail.get(k)
+            if ent is None:
+                avail[k] = {
+                    "state": "pending", "idx": len(out), "expr": e,
+                    "set": set_, "uses": _used_locals(e),
+                    "fields": frozenset(_field_load_targets(e)),
+                }
+                return
+            set_(self._use(k, ent, avail, out))
+            self.rewrites += 1
+            return
+        for child, child_set in _child_slots(e):
+            self._rw(child, child_set, avail, out)
+
+    def _use(self, k, ent: dict, avail: dict, out: list) -> ir.LocalRef:
+        if ent["state"] == "pending":
+            name = self.namer.fresh()
+            first = ent["expr"]
+            idx = ent["idx"]
+            out.insert(idx, ir.LocalDecl(name, first.ty, first))
+            for other in avail.values():
+                if other["state"] == "pending" and other["idx"] >= idx:
+                    other["idx"] += 1
+            ent["set"](_make_ref(name, first))
+            ent.update(state="temp", name=name)
+        return _make_ref(ent["name"], ent["expr"])
+
+
+def cse_func(f: ir.FuncIR, ctx) -> int:
+    """Deduplicate repeated pure subexpressions within each basic block
+    (array index/address arithmetic is the target)."""
+    cse = _CseBlock(_Namer(f, "__cse"))
+    cse.run(f.body)
+    return cse.rewrites
+
+
+# ---------------------------------------------------------------------------
+# pass: licm — loop-invariant code motion
+# ---------------------------------------------------------------------------
+
+def _trip_at_least_one(loop) -> bool:
+    """Whether the loop body provably executes (constant counted range)."""
+    if not isinstance(loop, ir.ForRange):
+        return False
+    start, stop = _const_val(loop.start), _const_val(loop.stop)
+    if start is None or stop is None:
+        return False
+    if loop.step is None:
+        return start < stop
+    step = _const_val(loop.step)
+    if step is None or step == 0:
+        return False
+    return start < stop if step > 0 else start > stop
+
+
+def _field_effects(stmts, memo: dict):
+    """The set of snapshot ``(root_path, fname)`` fields stored anywhere in
+    ``stmts``, transitively through calls; None means "unknown" (some store
+    target or callee could not be resolved, so assume everything)."""
+    out: set = set()
+    stack = list(stmts)
+    while stack:
+        s = stack.pop()
+        if isinstance(s, ir.FieldStore):
+            oshape = s.obj.shape
+            root = getattr(oshape, "root_path", None)
+            if root is None:
+                return None
+            out.add((root, s.fname))
+        for b in ir.stmt_blocks(s):
+            stack.extend(b)
+        for e in ir.stmt_exprs(s):
+            for x in ir.walk_exprs(e):
+                if isinstance(x, (ir.Call, ir.KernelLaunch)):
+                    callee = _callee_effects(x.target, memo)
+                    if callee is None:
+                        return None
+                    out |= callee
+    return out
+
+
+def _callee_effects(target, memo: dict):
+    func = getattr(target, "func_ir", None)
+    if func is None:
+        return None
+    key = id(func)
+    if key not in memo:
+        memo[key] = set()  # pre-seed: recursion is outlawed, but stay safe
+        memo[key] = _field_effects(func.body, memo)
+    return memo[key]
+
+
+def _contains_field_load(e: ir.Expr) -> bool:
+    return any(isinstance(x, ir.FieldLoad) for x in ir.walk_exprs(e))
+
+
+def _field_load_targets(e: ir.Expr) -> set:
+    return {
+        (x.obj.shape.root_path, x.fname)
+        for x in ir.walk_exprs(e)
+        if isinstance(x, ir.FieldLoad)
+    }
+
+
+class _Licm:
+    def __init__(self, f: ir.FuncIR):
+        self.namer = _Namer(f, "__licm")
+        self.effects_memo: dict = {}
+        self.hoisted = 0
+
+    def run(self, stmts: list) -> None:
+        for s in stmts:
+            for b in ir.stmt_blocks(s):
+                self.run(b)  # inner loops first: their temps hoist further
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            if isinstance(s, (ir.ForRange, ir.While)):
+                decls = self._hoist(s)
+                if decls:
+                    stmts[i:i] = decls
+                    i += len(decls)
+            i += 1
+
+    def _hoist(self, loop) -> list:
+        assigned = ir.assigned_names(loop.body)
+        if isinstance(loop, ir.ForRange):
+            assigned.add(loop.var)
+        trip = _trip_at_least_one(loop)
+        effects = _field_effects(loop.body, self.effects_memo)
+
+        cands: dict = {}  # key -> first expr (insertion-ordered)
+
+        def collect(e: ir.Expr) -> None:
+            k = _movable(e)
+            if k is not None and not (_used_locals(e) & assigned):
+                if _contains_intrinsic(e) and not trip:
+                    k = None  # may raise; loop may run zero times
+                elif _contains_field_load(e):
+                    if effects is None or (_field_load_targets(e) & effects):
+                        k = None  # the field is (or may be) stored in-loop
+                if k is not None:
+                    cands.setdefault(k, e)
+                    return
+            for child in ir.expr_children(e):
+                collect(child)
+
+        if isinstance(loop, ir.While):
+            collect(loop.cond)
+        for s in loop.body:
+            for e in ir.stmt_exprs(s):
+                collect(e)
+            if self._may_exit(s):
+                break  # later statements are conditional on iteration 1
+
+        if not cands:
+            return []
+
+        mapping = {}
+        decls = []
+        for k, e in cands.items():
+            name = self.namer.fresh()
+            decls.append(ir.LocalDecl(name, e.ty, e))
+            mapping[k] = (name, e)
+        self.hoisted += len(cands)
+
+        # substitution must run top-down (maximal munch): a bottom-up map
+        # would replace a candidate's children first and the rebuilt parent
+        # would no longer match its recorded key
+        def subst(s):
+            for attr in _slot_names(s):
+                child = getattr(s, attr)
+                if isinstance(child, ir.Expr):
+                    setattr(s, attr, _replace_by_key(child, mapping))
+            for b in ir.stmt_blocks(s):
+                for inner in b:
+                    subst(inner)
+
+        for s in loop.body:
+            subst(s)
+        if isinstance(loop, ir.While):
+            loop.cond = _replace_by_key(loop.cond, mapping)
+        return decls
+
+    @staticmethod
+    def _may_exit(s: ir.Stmt) -> bool:
+        """Whether ``s`` can transfer control out of the current iteration
+        (anything after it is then *not* unconditionally executed)."""
+        stack = [s]
+        while stack:
+            x = stack.pop()
+            if isinstance(x, (ir.Break, ir.Continue, ir.Return)):
+                return True
+            if isinstance(x, ir.If):
+                stack.extend(x.then)
+                stack.extend(x.orelse)
+            # a nested loop contains its own breaks; they do not exit *this*
+            # iteration, so do not descend into ForRange/While bodies
+        return False
+
+
+def licm_func(f: ir.FuncIR, ctx) -> int:
+    """Hoist loop-invariant pure computations (and un-stored snapshot array
+    field loads) out of ``ForRange``/``While`` bodies."""
+    licm = _Licm(f)
+    licm.run(f.body)
+    return licm.hoisted

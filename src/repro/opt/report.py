@@ -1,0 +1,124 @@
+"""Before/after report for the mid-end pass pipeline.
+
+Translates the two demo programs the golden tests pin (the 3-D diffusion
+stencil and the matmul) once with the mid-end disabled and once with the
+configured pipeline, and reports, per program:
+
+* IR statement counts before and after,
+* emitted C statement counts (``;``-terminated lines; no C compiler is
+  needed — the program is emitted, never built),
+* per-pass rewrite totals and time.
+
+Used by ``python -m repro opt report`` and by
+``benchmarks/bench_opt_passes.py`` (which persists the rendered table
+under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.frontend import ir
+
+__all__ = ["collect", "render"]
+
+
+def _demo_apps() -> dict:
+    from repro.library.matmul import (
+        CPULoop, OptimizedCalculator, SimpleOuterBody, make_matrix,
+    )
+    from repro.library.stencil import (
+        EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,
+    )
+    from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+
+    stencil = StencilCPU3D(
+        make_dif3d_solver(), make_grid3d(8, 8, 6), ThreeDIndexer(8, 8, 6),
+        SineGen(8, 8, 4, 1), EmptyContext(),
+    )
+    ma, mb, mc = make_matrix(8), make_matrix(8), make_matrix(8)
+    matmul = CPULoop(SimpleOuterBody(), OptimizedCalculator())
+    return {
+        "stencil": ("run", (2,), stencil),
+        "matmul": ("start", (ma, mb, mc), matmul),
+    }
+
+
+def _count_ir_stmts(program) -> int:
+    n = 0
+    for spec in program.specializations:
+        stack = list(spec.func_ir.body)
+        while stack:
+            s = stack.pop()
+            n += 1
+            for b in ir.stmt_blocks(s):
+                stack.extend(b)
+    return n
+
+
+def _count_c_stmts(program) -> int:
+    from repro.backends.base import OptLevel
+    from repro.backends.cbackend.emit import CProgramEmitter
+
+    source = CProgramEmitter(program, OptLevel.FULL).emit().source
+    return sum(1 for line in source.splitlines()
+               if line.strip().endswith(";"))
+
+
+def _translate(method, call_args, app, passes_env):
+    from repro import jit
+
+    prev = os.environ.get("REPRO_OPT_PASSES")
+    os.environ["REPRO_OPT_PASSES"] = passes_env
+    try:
+        return jit(app, method, *call_args, backend="py", use_cache=False)
+    finally:
+        if prev is None:
+            del os.environ["REPRO_OPT_PASSES"]
+        else:
+            os.environ["REPRO_OPT_PASSES"] = prev
+
+
+def collect() -> dict:
+    """Translate each demo program with the mid-end off and on; returns
+    ``{program: {"before": {...}, "after": {...}, "passes": {...}}}``."""
+    out = {}
+    for name, (method, call_args, app) in sorted(_demo_apps().items()):
+        base = _translate(method, call_args, app, "0")
+        opt = _translate(method, call_args, app, "1")
+        out[name] = {
+            "before": {
+                "ir_stmts": _count_ir_stmts(base.program),
+                "c_stmts": _count_c_stmts(base.program),
+            },
+            "after": {
+                "ir_stmts": _count_ir_stmts(opt.program),
+                "c_stmts": _count_c_stmts(opt.program),
+            },
+            "passes": (opt.report.opt_stats or {}).get("pipeline", {}),
+        }
+    return out
+
+
+def render(data: dict) -> str:
+    """Human-readable table for :func:`collect`'s result (deterministic —
+    timing columns are excluded so the output can be committed)."""
+    lines = ["mid-end pass pipeline report", "=" * 28, ""]
+    for name, d in sorted(data.items()):
+        b, a = d["before"], d["after"]
+        lines.append(f"{name}:")
+        lines.append(
+            f"  IR statements : {b['ir_stmts']:5d} -> {a['ir_stmts']:5d}  "
+            f"({a['ir_stmts'] - b['ir_stmts']:+d})"
+        )
+        lines.append(
+            f"  C statements  : {b['c_stmts']:5d} -> {a['c_stmts']:5d}  "
+            f"({a['c_stmts'] - b['c_stmts']:+d})"
+        )
+        for pname, st in d["passes"].items():
+            lines.append(
+                f"  pass {pname:4s}     : {st['rewrites']:4d} rewrites "
+                f"over {st['runs']} function(s)"
+            )
+        lines.append("")
+    return "\n".join(lines)

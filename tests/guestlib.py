@@ -257,3 +257,62 @@ class MutualB:
     def pong(self, n: i64) -> i64:
         other = MutualA()
         return other.ping(n)
+
+
+@wootin
+class SwapBuf:
+    """Double buffer: array-field mutation in ``swap`` is the one field
+    store the semi-immutability rules permit."""
+
+    front: Array(f32)
+    back: Array(f32)
+
+    def __init__(self, front: Array(f32), back: Array(f32)):
+        self.front = front
+        self.back = back
+
+    def swap(self) -> None:
+        tmp = self.front
+        self.front = self.back
+        self.back = tmp
+
+
+@wootin
+class SwapReader:
+    """Reads ``buf.front`` before and after a swap made through a callee —
+    an optimizer that merges the two loads miscompiles this to 2.0."""
+
+    buf: SwapBuf
+
+    def __init__(self, buf: SwapBuf):
+        self.buf = buf
+
+    def run(self, n: i64) -> f64:
+        for i in range(n):
+            self.buf.front[i] = 1.0
+            self.buf.back[i] = 2.0
+        a = self.buf.front[0]
+        self.buf.swap()
+        b = self.buf.front[0]
+        total = 0.0
+        total = total + a + b
+        return total
+
+
+@wootin
+class FoldEdge:
+    """Constant-folding edge cases (``_fold_binop`` regression guests)."""
+
+    def __init__(self):
+        pass
+
+    def div_zero_f(self, x: f64) -> f64:
+        zero = 0.0
+        return x / zero
+
+    def div_zero_i(self, n: i64) -> i64:
+        z = 0
+        return n // z
+
+    def pow_neg(self) -> f64:
+        return 2 ** -1

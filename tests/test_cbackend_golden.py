@@ -26,6 +26,14 @@ from repro.backends.cbackend.emit import CProgramEmitter
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 
+@pytest.fixture(autouse=True)
+def _pinned_opt_passes(monkeypatch):
+    """Goldens are generated with the full mid-end pipeline; pin the env
+    knob so a CI leg running the suite under REPRO_OPT_PASSES=0 still
+    compares against the same bytes."""
+    monkeypatch.setenv("REPRO_OPT_PASSES", "1")
+
+
 def _stencil_program():
     from repro.library.stencil import (
         EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,

@@ -148,6 +148,14 @@ def _bits(v: float) -> bytes:
     return struct.pack("<d", float(v))
 
 
+def _interp_reference(make, iters: int) -> float:
+    # CPython interpretation of the same guest method is the reference
+    import repro.rt as rt
+
+    rt.current.reset()
+    return float(make().run(iters))
+
+
 @pytest.mark.parametrize("seed", range(N_PROGRAMS))
 def test_generated_program_agrees_across_backends(guest_module, seed):
     args = guest_module.__diffgen_params__[seed]
@@ -156,15 +164,34 @@ def test_generated_program_agrees_across_backends(guest_module, seed):
     def make():
         return cls(args["a"], args["b"], args["n"])
 
-    # CPython interpretation of the same guest method is the reference
-    import repro.rt as rt
-
-    rt.current.reset()
-    ref = float(make().run(args["iters"]))
+    ref = _interp_reference(make, args["iters"])
     for backend in BACKENDS:
         code = jit(make(), "run", args["iters"], backend=backend)
         got = float(code.invoke().value)
         assert _bits(got) == _bits(ref), (
             f"seed {seed}: backend {backend!r} returned {got!r}, "
+            f"interpreted reference {ref!r}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_optimizer_preserves_bits(guest_module, seed, monkeypatch):
+    """Three-way differential: interpreter vs unoptimized vs optimized
+    translation of the same random program must agree to the full 64 bits
+    (the mid-end passes may only rewrite exactly)."""
+    args = guest_module.__diffgen_params__[seed]
+    cls = getattr(guest_module, f"G{seed}")
+
+    def make():
+        return cls(args["a"], args["b"], args["n"])
+
+    ref = _interp_reference(make, args["iters"])
+    for passes in ("0", "1"):
+        monkeypatch.setenv("REPRO_OPT_PASSES", passes)
+        code = jit(make(), "run", args["iters"], backend="py",
+                   use_cache=False)
+        got = float(code.invoke().value)
+        assert _bits(got) == _bits(ref), (
+            f"seed {seed}: REPRO_OPT_PASSES={passes} returned {got!r}, "
             f"interpreted reference {ref!r}"
         )

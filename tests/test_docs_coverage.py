@@ -66,6 +66,7 @@ class TestShippedArtifacts:
             "docs/GUEST_LANGUAGE.md",
             "docs/JIT_SERVICE.md",
             "docs/OBSERVABILITY.md",
+            "docs/OPTIMIZER.md",
             "docs/SIMULATION.md",
             "examples/quickstart.py",
             "pyproject.toml",
