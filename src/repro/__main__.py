@@ -11,6 +11,9 @@
     python -m repro opt report [--json]        # mid-end pass before/after
     python -m repro trace summarize [FILE]     # per-phase span breakdown
     python -m repro trace export [FILE]        # Chrome/JSONL trace export
+    python -m repro fuzz run                   # coverage-guided diff fuzzing
+    python -m repro fuzz replay                # re-run the regression corpus
+    python -m repro fuzz cov                   # guided-vs-random coverage
 """
 
 from __future__ import annotations
@@ -236,6 +239,106 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _fuzz_backends(args) -> list | None:
+    return args.backends.split(",") if args.backends else None
+
+
+def cmd_fuzz(args) -> int:
+    """Differential-fuzzer front end: fuzz, replay the corpus, or compare
+    guided vs random coverage under the same budget."""
+    import json
+
+    from repro.fuzz import DiffRunner, FuzzSession, load_entries, replay_entry
+
+    if args.action == "run":
+        session = FuzzSession(seed=args.seed, budget=args.budget,
+                              mode=args.mode,
+                              backends=_fuzz_backends(args),
+                              corpus_dir=args.corpus,
+                              minimize=not args.no_minimize,
+                              progress=None if args.json else print)
+        stats = session.run()
+        summary = {
+            "mode": stats.mode, "seed": args.seed,
+            "executed": stats.executed, "interesting": stats.interesting,
+            "findings": len(stats.findings),
+            "signatures": sorted({f.signature for f in stats.findings}),
+            "arcs_total": stats.arcs_total,
+            "arcs_by_file": stats.arcs_by_file,
+            "backends": stats.backends,
+            "elapsed_s": round(stats.elapsed, 2),
+        }
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(f"fuzz run: {stats.executed} programs, mode={stats.mode}, "
+                  f"backends={','.join(stats.backends)}, "
+                  f"{stats.elapsed:.1f}s")
+            print(f"coverage: {stats.arcs_total} arcs {stats.arcs_by_file}")
+            print(f"findings: {len(stats.findings)}"
+                  + (" — reproducers saved to "
+                     f"{args.corpus}" if stats.findings else ""))
+        return 1 if stats.findings else 0
+
+    if args.action == "replay":
+        entries = load_entries(args.corpus)
+        if not entries:
+            print(f"no corpus entries under {args.corpus}")
+            return 0
+        runner = DiffRunner(backends=_fuzz_backends(args))
+        failed = []
+        for entry in entries:
+            res = replay_entry(runner, entry)
+            status = "ok" if res.ok else "FAIL"
+            print(f"  {entry.name}: {status}"
+                  + (f" ({', '.join(res.divergent)})" if res.divergent
+                     else ""))
+            if not res.ok:
+                failed.append(entry.name)
+        print(f"replayed {len(entries)} entries, {len(failed)} failing")
+        return 1 if failed else 0
+
+    # action == "cov": same seed and budget, guided grammar+feedback vs the
+    # legacy random baseline; guided must reach strictly more arcs.
+    guided = FuzzSession(seed=args.seed, budget=args.budget, mode="guided",
+                         backends=_fuzz_backends(args), minimize=False).run()
+    rand = FuzzSession(seed=args.seed, budget=args.budget, mode="random",
+                       backends=_fuzz_backends(args), minimize=False).run()
+    report = {
+        "budget": args.budget, "seed": args.seed,
+        "guided": {"arcs_total": guided.arcs_total,
+                   "arcs_by_file": guided.arcs_by_file,
+                   "findings": len(guided.findings)},
+        "random": {"arcs_total": rand.arcs_total,
+                   "arcs_by_file": rand.arcs_by_file,
+                   "findings": len(rand.findings)},
+        "guided_beats_random": guided.arcs_total > rand.arcs_total,
+    }
+    ok = report["guided_beats_random"]
+    baseline_arcs = None
+    if args.baseline:
+        baseline_arcs = json.load(open(args.baseline))["min_guided_arcs"]
+        report["baseline_min_guided_arcs"] = baseline_arcs
+        ok = ok and guided.arcs_total >= baseline_arcs
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"coverage under a {args.budget}-program budget "
+              f"(seed {args.seed}):")
+        print(f"  guided : {guided.arcs_total:5d} arcs "
+              f"{guided.arcs_by_file}")
+        print(f"  random : {rand.arcs_total:5d} arcs {rand.arcs_by_file}")
+        if baseline_arcs is not None:
+            print(f"  baseline floor: {baseline_arcs} arcs")
+        print(f"  guided beats random: {report['guided_beats_random']}")
+    divergences = guided.findings + rand.findings
+    if divergences:
+        print(f"  WARNING: {len(divergences)} divergences found during "
+              "the comparison")
+        return 1
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -299,6 +402,30 @@ def main(argv=None) -> int:
                          help="export output path (default: trace.json / "
                               "trace.jsonl)")
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_fuzz = sub.add_parser("fuzz",
+                            help="coverage-guided differential guest fuzzer")
+    p_fuzz.add_argument("action", choices=["run", "replay", "cov"])
+    p_fuzz.add_argument("--seed", type=int, default=20140207,
+                        help="master RNG seed (default: 20140207)")
+    p_fuzz.add_argument("--budget", type=int, default=60,
+                        help="number of generated programs (default: 60)")
+    p_fuzz.add_argument("--mode", choices=["guided", "random"],
+                        default="guided",
+                        help="guided = full grammar + coverage feedback; "
+                        "random = legacy-shaped baseline")
+    p_fuzz.add_argument("--backends", default=None,
+                        help="comma-separated backend list (default: py "
+                        "plus c when a compiler is present)")
+    p_fuzz.add_argument("--corpus", default="tests/fuzz_corpus",
+                        help="regression-corpus directory")
+    p_fuzz.add_argument("--baseline", default=None,
+                        help="cov: JSON file with a min_guided_arcs floor")
+    p_fuzz.add_argument("--no-minimize", action="store_true",
+                        help="skip test-case minimization on findings")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -748,6 +748,10 @@ class _CFunc:
         if key == "wj.output":
             label = x.const_args[0]
             return f"wj_output_{self._suf(x.args[0])}(env, {c_str(label)}, {a[0]})"
+        if key == "wj.lcg64":
+            return f"wj_lcg64((int64_t)({a[0]}))"
+        if key == "wj.u01":
+            return f"wj_u01((int64_t)({a[0]}))"
         if key.startswith("math."):
             fn = _MATH_C[key.split(".")[1]]
             return f"{fn}({', '.join(f'(double)({v})' for v in a)})"

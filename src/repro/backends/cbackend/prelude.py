@@ -88,6 +88,20 @@ static inline double wj_mod_f64(double a, double b) {
     return (r != 0.0 && ((r < 0.0) != (b < 0.0))) ? r + b : r;
 }
 
+/* ---- deterministic RNG intrinsics --------------------------------------
+ * One 64-bit LCG step (Knuth MMIX constants) computed in uint64 arithmetic
+ * so the wrap-around is well defined, reinterpreted as int64; the Python
+ * implementations mask to the same 64 bits, so guest RNG streams are
+ * bit-identical on every backend. */
+static inline int64_t wj_lcg64(int64_t s) {
+    return (int64_t)((uint64_t)s * UINT64_C(6364136223846793005)
+                     + UINT64_C(1442695040888963407));
+}
+static inline double wj_u01(int64_t s) {
+    /* top 53 bits onto [0, 1): exact in a double */
+    return (double)((uint64_t)s >> 11) * (1.0 / 9007199254740992.0);
+}
+
 /* ---- min/max/abs ------------------------------------------------------- */
 static inline int64_t wj_min_i64(int64_t a, int64_t b) { return a < b ? a : b; }
 static inline int64_t wj_max_i64(int64_t a, int64_t b) { return a > b ? a : b; }

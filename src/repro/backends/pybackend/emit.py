@@ -32,7 +32,7 @@ from repro.frontend import ir
 from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape, Shape
 from repro.jit.program import Program
 from repro.lang import types as _t
-from repro.lang.intrinsics import intrinsic_registry
+from repro.lang.intrinsics import _lcg64_py, _u01_py, intrinsic_registry
 
 __all__ = ["PyBackend"]
 
@@ -259,6 +259,10 @@ class _FuncEmitter:
         if key == "wj.output":
             label = e.const_args[0]
             return f"__env.output({label!r}, {a[0]})"
+        if key == "wj.lcg64":
+            return f"__wj_lcg64({a[0]})"
+        if key == "wj.u01":
+            return f"__wj_u01({a[0]})"
         if key.startswith("math."):
             return f"__math.{key.split('.')[1]}({', '.join(a)})"
         if key == "builtin.abs":
@@ -481,6 +485,8 @@ class _PyCompiled(CompiledProgram):
             "__f32": lambda x: float(np.float32(x)),
             "__i32": lambda x: int(np.int32(int(x))),
             "__noop": lambda *a: None,
+            "__wj_lcg64": _lcg64_py,
+            "__wj_u01": _u01_py,
             "__ffi": _ffi_table(),
         }
         code = compile(source, "<repro-pybackend>", "exec")

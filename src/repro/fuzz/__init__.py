@@ -1,0 +1,47 @@
+"""Coverage-guided differential fuzzer for the translation pipeline.
+
+The subsystem that *generates* guest programs instead of hand-writing
+them: a structured grammar renders random-but-valid ``@wootin`` classes
+(:mod:`repro.fuzz.grammar`), every program is executed three ways —
+interpreter, Python backend, C backend, optimizer off and on — and must
+agree bit for bit (:mod:`repro.fuzz.runner`).  Host-side branch coverage
+over the lowering/optimizer/emitter modules (:mod:`repro.fuzz.coverage`)
+feeds a mutation loop (:mod:`repro.fuzz.loop`); divergences are shrunk at
+the spec level (:mod:`repro.fuzz.minimize`) and persisted as replayable
+reproducers (:mod:`repro.fuzz.corpus`).
+
+Command-line front end: ``repro fuzz {run,replay,cov}``.
+"""
+
+from repro.fuzz.corpus import (CorpusEntry, load_entries, replay_entry,
+                               save_result)
+from repro.fuzz.coverage import BranchCoverage
+from repro.fuzz.grammar import (FULL_FEATURES, LEGACY_FEATURES, Features,
+                                ProgramSpec, mutate, random_spec, render)
+from repro.fuzz.loop import Finding, FuzzSession, FuzzStats
+from repro.fuzz.minimize import minimize_spec
+from repro.fuzz.runner import (DiffResult, DiffRunner, LegResult,
+                               divergence_signature)
+
+__all__ = [
+    "BranchCoverage",
+    "CorpusEntry",
+    "DiffResult",
+    "DiffRunner",
+    "Features",
+    "Finding",
+    "FULL_FEATURES",
+    "FuzzSession",
+    "FuzzStats",
+    "LEGACY_FEATURES",
+    "LegResult",
+    "ProgramSpec",
+    "divergence_signature",
+    "load_entries",
+    "minimize_spec",
+    "mutate",
+    "random_spec",
+    "render",
+    "replay_entry",
+    "save_result",
+]

@@ -1,0 +1,131 @@
+"""Persistent regression corpus of minimized reproducers.
+
+Every divergence the fuzzer finds is saved as a pair of files under a
+corpus directory (the repo uses ``tests/fuzz_corpus/``):
+
+* ``<name>.py``   — the complete, self-contained guest module; and
+* ``<name>.json`` — metadata: class/method names, constructor and method
+  arguments (arrays encoded as ``{"__array__": [...], "dtype": ...}``),
+  the divergence signature, and a human note.
+
+Entries are replayed by ``repro fuzz replay`` and by a parametrized
+pytest in tier 1, so a reproducer found once keeps guarding the compiler
+forever.  Seed entries can also be written by hand for known-tricky
+shapes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.fuzz.grammar import CLASS_NAME, ctor_args, spec_to_dict
+from repro.fuzz.runner import DiffResult, DiffRunner, divergence_signature
+
+__all__ = ["CorpusEntry", "load_entries", "make_args_from_meta",
+           "replay_entry", "save_result"]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One saved reproducer: its source file plus decoded metadata."""
+
+    name: str
+    source_path: Path
+    meta: dict[str, Any]
+
+
+def _encode_arg(value: Any) -> Any:
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        dtype = {"float64": "f64", "int64": "i64"}.get(value.dtype.name,
+                                                       value.dtype.name)
+        return {"__array__": value.tolist(), "dtype": dtype}
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot encode corpus argument {value!r}")
+
+
+def _decode_arg(value: Any) -> Any:
+    import numpy as np
+
+    if isinstance(value, dict) and "__array__" in value:
+        dtype = {"f64": np.float64, "i64": np.int64}.get(value["dtype"])
+        if dtype is None:
+            raise ValueError(f"unknown corpus dtype {value['dtype']!r}")
+        return np.array(value["__array__"], dtype=dtype)
+    return value
+
+
+def make_args_from_meta(meta: dict[str, Any]) -> Callable[[], list]:
+    """A factory building fresh (unaliased) constructor args per call."""
+    encoded = meta["ctor_args"]
+
+    def make() -> list:
+        return [_decode_arg(v) for v in encoded]
+
+    return make
+
+
+def save_result(corpus_dir: str | Path, res: DiffResult,
+                note: str = "") -> Path:
+    """Persist a (preferably minimized) failing run as a corpus entry.
+
+    Returns the path of the written ``.py`` file.  The entry name is
+    content-addressed (a hash of the source), so re-finding the same
+    minimized program is idempotent.
+    """
+    if res.spec is None:
+        raise ValueError("save_result needs a spec-backed DiffResult")
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(res.source.encode()).hexdigest()[:12]
+    name = f"gen_{digest}"
+    meta = {
+        "class": CLASS_NAME,
+        "method": "run",
+        "method_args": [res.spec.iters],
+        "ctor_args": [_encode_arg(v) for v in ctor_args(res.spec)],
+        "signature": divergence_signature(res),
+        "reference": res.reference,
+        "legs": {leg.name: (leg.error if leg.error is not None
+                            else leg.value) for leg in res.legs},
+        "note": note,
+        "spec": spec_to_dict(res.spec),
+    }
+    src_path = corpus_dir / f"{name}.py"
+    src_path.write_text(res.source)
+    (corpus_dir / f"{name}.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    return src_path
+
+
+def load_entries(corpus_dir: str | Path) -> list[CorpusEntry]:
+    """All corpus entries under ``corpus_dir``, sorted by name."""
+    corpus_dir = Path(corpus_dir)
+    entries = []
+    if not corpus_dir.is_dir():
+        return entries
+    for meta_path in sorted(corpus_dir.glob("*.json")):
+        src_path = meta_path.with_suffix(".py")
+        if not src_path.is_file():
+            continue
+        meta = json.loads(meta_path.read_text())
+        entries.append(CorpusEntry(name=meta_path.stem,
+                                   source_path=src_path, meta=meta))
+    return entries
+
+
+def replay_entry(runner: DiffRunner, entry: CorpusEntry) -> DiffResult:
+    """Re-run one corpus entry through the full differential harness."""
+    return runner.run_program(
+        entry.source_path.read_text(),
+        make_args_from_meta(entry.meta),
+        entry.meta.get("method", "run"),
+        tuple(entry.meta.get("method_args", ())),
+        class_name=entry.meta.get("class", CLASS_NAME),
+    )

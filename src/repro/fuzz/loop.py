@@ -1,0 +1,147 @@
+"""The coverage-guided fuzzing loop.
+
+Classic mutational-fuzzer shape, specialized to compiler-differential
+testing:
+
+1. draw a program — either a fresh random spec, or a mutation of a spec
+   that previously lit up new pipeline branches (the *population*);
+2. run it three-way (interpreter vs py/C backends, optimizer off and on)
+   with the branch-coverage tracker around each compilation;
+3. a program contributing new arcs joins the population and gets mutated
+   more; a diverging/crashing program is minimized at the spec level and
+   persisted to the regression corpus.
+
+``mode="random"`` disables feedback *and* the grammar extensions
+(``LEGACY_FEATURES``), reproducing the old fixed-seed harness as a
+baseline — ``repro fuzz cov`` runs both modes under the same program
+budget to show the guided mode reaches strictly more pipeline branches.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.fuzz.corpus import save_result
+from repro.fuzz.coverage import BranchCoverage
+from repro.fuzz.grammar import (FULL_FEATURES, LEGACY_FEATURES, mutate,
+                                random_spec)
+from repro.fuzz.minimize import minimize_spec
+from repro.fuzz.runner import DiffRunner, divergence_signature
+
+__all__ = ["Finding", "FuzzSession", "FuzzStats"]
+
+#: probability of mutating a population member (vs a fresh random spec)
+_P_MUTATE = 0.7
+#: population cap — oldest interesting specs are evicted first
+_MAX_POPULATION = 64
+
+
+@dataclass
+class Finding:
+    """One divergence: its signature and where the reproducer went."""
+
+    signature: str
+    path: str | None
+    minimized_lines: int
+
+
+@dataclass
+class FuzzStats:
+    """Summary of one fuzzing session."""
+
+    mode: str
+    executed: int = 0
+    interesting: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    arcs_total: int = 0
+    arcs_by_file: dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+    backends: list[str] = field(default_factory=list)
+
+
+class FuzzSession:
+    """One bounded fuzzing run (guided or random baseline)."""
+
+    def __init__(self, seed: int, budget: int, mode: str = "guided",
+                 backends: Sequence[str] | None = None,
+                 corpus_dir: str | Path | None = None,
+                 workdir: str | Path | None = None,
+                 minimize: bool = True,
+                 progress=None) -> None:
+        if mode not in ("guided", "random"):
+            raise ValueError(f"unknown fuzz mode {mode!r}")
+        self.seed = seed
+        self.budget = budget
+        self.mode = mode
+        self.corpus_dir = Path(corpus_dir) if corpus_dir else None
+        self.minimize = minimize
+        self.progress = progress
+        self.coverage = BranchCoverage()
+        self.runner = DiffRunner(workdir=workdir, backends=backends,
+                                 coverage=self.coverage)
+        self.features = (FULL_FEATURES if mode == "guided"
+                         else LEGACY_FEATURES)
+
+    def _say(self, text: str) -> None:
+        if self.progress is not None:
+            self.progress(text)
+
+    def run(self) -> FuzzStats:
+        """Execute the session; returns aggregate stats (findings are
+        also persisted to the corpus directory as they are minimized)."""
+        rng = random.Random(self.seed)
+        stats = FuzzStats(mode=self.mode, backends=list(self.runner.backends))
+        population: list = []
+        seen_signatures: set[str] = set()
+        t0 = time.perf_counter()
+        while stats.executed < self.budget:
+            if (self.mode == "guided" and population
+                    and rng.random() < _P_MUTATE):
+                spec = mutate(rng, rng.choice(population))
+            else:
+                spec = random_spec(rng, self.features)
+            res = self.runner.run_spec(spec)
+            stats.executed += 1
+            if res.new_arcs > 0:
+                stats.interesting += 1
+                population.append(spec)
+                if len(population) > _MAX_POPULATION:
+                    population.pop(0)
+            sig = divergence_signature(res)
+            if sig is not None:
+                self._say(f"[{stats.executed}/{self.budget}] "
+                          f"divergence: {sig}")
+                self._handle_finding(res, sig, seen_signatures, stats)
+        stats.elapsed = time.perf_counter() - t0
+        stats.arcs_total = self.coverage.count()
+        stats.arcs_by_file = self.coverage.by_file()
+        return stats
+
+    def _handle_finding(self, res, sig: str, seen: set[str],
+                        stats: FuzzStats) -> None:
+        spec = res.spec
+        if self.minimize and spec is not None:
+            # minimize without coverage tracing (it only slows shrinking)
+            shrink_runner = DiffRunner(workdir=self.runner.workdir,
+                                       backends=self.runner.backends)
+            small = minimize_spec(shrink_runner, spec, sig)
+            small_res = self.runner.run_spec(small)
+            if divergence_signature(small_res) == sig:
+                res = small_res
+        path: str | None = None
+        if self.corpus_dir is not None and res.spec is not None:
+            # keep one reproducer per signature per session; the corpus
+            # name is content-addressed so cross-session re-finds dedup
+            if sig not in seen:
+                path = str(save_result(self.corpus_dir, res,
+                                       note=f"found by fuzz mode="
+                                            f"{self.mode} seed={self.seed}"))
+                self._say(f"saved reproducer: {path}")
+        seen.add(sig)
+        stats.findings.append(Finding(
+            signature=sig, path=path,
+            minimized_lines=len(res.source.splitlines())))

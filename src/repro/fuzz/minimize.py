@@ -1,0 +1,82 @@
+"""Spec-level test-case minimization.
+
+When a generated program diverges (or crashes a leg), the raw reproducer
+is usually noisy: several blocks, helpers, and fields that have nothing
+to do with the bug.  Because programs are :class:`ProgramSpec` genomes,
+minimization works on the *structure* instead of on source lines — drop
+blocks, drop helpers, drop the data/k fields, shrink ``n``/``iters`` and
+expression depths — and every candidate is a valid program by
+construction.  A candidate is accepted when re-running it still produces
+the *same divergence signature* (same failing legs, or same crash kind),
+greedy to a fixpoint, bounded by an attempt budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from repro.fuzz.grammar import ProgramSpec
+from repro.fuzz.runner import DiffRunner, divergence_signature
+
+__all__ = ["minimize_spec"]
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """All one-step shrinks of ``spec``, most aggressive first."""
+    blocks = spec.blocks
+    for j in range(len(blocks)):
+        yield dataclasses.replace(
+            spec, blocks=blocks[:j] + blocks[j + 1:])
+    if spec.helpers:
+        yield dataclasses.replace(spec, helpers=())
+    for j in range(len(spec.helpers)):
+        yield dataclasses.replace(
+            spec, helpers=spec.helpers[:j] + spec.helpers[j + 1:])
+    if spec.data is not None:
+        yield dataclasses.replace(spec, data=None)
+    if spec.k is not None:
+        yield dataclasses.replace(spec, k=None)
+    if spec.iters > 1:
+        yield dataclasses.replace(spec, iters=1)
+    if spec.n > 3:
+        yield dataclasses.replace(spec, n=3)
+    for j, blk in enumerate(blocks):
+        if blk.depth > 1:
+            shrunk = dataclasses.replace(blk, depth=1)
+            yield dataclasses.replace(
+                spec, blocks=blocks[:j] + (shrunk,) + blocks[j + 1:])
+        if blk.arms > 2:
+            shrunk = dataclasses.replace(blk, arms=2)
+            yield dataclasses.replace(
+                spec, blocks=blocks[:j] + (shrunk,) + blocks[j + 1:])
+        if blk.use_break or blk.use_continue:
+            shrunk = dataclasses.replace(blk, use_break=False,
+                                         use_continue=False)
+            yield dataclasses.replace(
+                spec, blocks=blocks[:j] + (shrunk,) + blocks[j + 1:])
+
+
+def minimize_spec(runner: DiffRunner, spec: ProgramSpec, signature: str,
+                  max_attempts: int = 120) -> ProgramSpec:
+    """Greedily shrink ``spec`` while the failure keeps ``signature``.
+
+    Returns the smallest spec reached within the attempt budget (possibly
+    the original).  The runner should have coverage disabled for speed;
+    the caller re-runs the result once to record the final report.
+    """
+    attempts = 0
+    current = spec
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for cand in _candidates(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            res = runner.run_spec(cand)
+            if divergence_signature(res) == signature:
+                current = cand
+                progress = True
+                break
+    return current

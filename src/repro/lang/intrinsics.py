@@ -116,6 +116,29 @@ for _name in _MATH_NAMES:
 # wj — framework utilities available inside translated code.
 # --------------------------------------------------------------------------
 
+#: LCG multiplier/increment (Knuth MMIX), applied modulo 2**64.  The C
+#: backend computes the step in uint64 arithmetic and reinterprets the
+#: result as int64, so the Python implementations mask and re-sign to give
+#: the *identical* 64-bit state on every platform.
+_LCG_MUL = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+_I64_SIGN = 0x8000000000000000
+#: 2**-53: top 53 bits of the state map onto [0, 1)
+_U01_SCALE = 1.0 / 9007199254740992.0
+
+
+def _lcg64_py(state) -> int:
+    """One LCG step over the full 64-bit state, as a signed int64."""
+    s = (int(state) * _LCG_MUL + _LCG_INC) & _U64_MASK
+    return s - 0x10000000000000000 if s & _I64_SIGN else s
+
+
+def _u01_py(state) -> float:
+    """Map a 64-bit state onto [0, 1) using its top 53 bits."""
+    return float((int(state) & _U64_MASK) >> 11) * _U01_SCALE
+
+
 class _Wj:
     """Framework utility namespace.
 
@@ -128,6 +151,12 @@ class _Wj:
       translated memory space under a label.  This is our explicit stand-in
       for the result I/O the paper leaves to the library (translated code's
       mutations are never copied back automatically, §3.1).
+    * ``wj.lcg64(state)`` / ``wj.u01(state)`` — the deterministic RNG
+      intrinsic pair: one 64-bit LCG step and the [0, 1) projection of a
+      state.  Guest i64 arithmetic cannot express the wrap-around multiply
+      (Python ints do not wrap; C overflow is undefined), so the step is an
+      intrinsic with bit-identical results on every backend — the Monte
+      Carlo library is built on it.
     """
 
     @staticmethod
@@ -145,6 +174,9 @@ class _Wj:
         from repro import rt
 
         rt.current.record_output(label, arr)
+
+    lcg64 = staticmethod(_lcg64_py)
+    u01 = staticmethod(_u01_py)
 
 
 wj = _Wj()
@@ -166,4 +198,10 @@ intrinsic_registry.register(
 )
 intrinsic_registry.register(
     wj, ("output",), IntrinsicSpec(key="wj.output", ret=_t.VOID, pyimpl=wj.output, const_head=1)
+)
+intrinsic_registry.register(
+    wj, ("lcg64",), IntrinsicSpec(key="wj.lcg64", ret=_t.I64, pyimpl=_lcg64_py)
+)
+intrinsic_registry.register(
+    wj, ("u01",), IntrinsicSpec(key="wj.u01", ret=_t.F64, pyimpl=_u01_py)
 )

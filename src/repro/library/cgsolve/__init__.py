@@ -1,0 +1,23 @@
+"""Sparse conjugate-gradient class library.
+
+A paper-style guest library whose hot kernel is *indirectly indexed*
+sparse matrix-vector product (CSR gather), composed with swappable
+preconditioner leaf classes and a data-dependent ``while``/``break``
+iteration — IR shapes the stencil and matmul libraries never exercise.
+"""
+
+from repro.library.cgsolve.csr import CsrMatrix
+from repro.library.cgsolve.precond import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+)
+from repro.library.cgsolve.solver import CgSolver
+
+__all__ = [
+    "CgSolver",
+    "CsrMatrix",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "Preconditioner",
+]

@@ -1,0 +1,72 @@
+"""Host-side builders for CG systems (deterministic SPD test matrices).
+
+The canonical problem is the 2-D five-point Laplacian on an ``nx``×``ny``
+grid — symmetric positive definite, with the irregular-but-deterministic
+CSR structure the indirect-indexing kernel needs.  Right-hand sides are
+closed-form (sine products), so inputs are bit-identical on every host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.library.cgsolve.csr import CsrMatrix
+from repro.library.cgsolve.precond import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+)
+from repro.library.cgsolve.solver import CgSolver
+
+__all__ = ["laplacian2d_csr", "make_solver", "rhs_field"]
+
+
+def laplacian2d_csr(nx: int, ny: int) -> dict:
+    """CSR arrays of the 2-D five-point Laplacian (Dirichlet, n = nx*ny)."""
+    n = nx * ny
+    vals, cols, rowptr = [], [], [0]
+    for j in range(ny):
+        for i in range(nx):
+            row = j * nx + i
+            entries = [(row, 4.0)]
+            if i > 0:
+                entries.append((row - 1, -1.0))
+            if i < nx - 1:
+                entries.append((row + 1, -1.0))
+            if j > 0:
+                entries.append((row - nx, -1.0))
+            if j < ny - 1:
+                entries.append((row + nx, -1.0))
+            for c, v in sorted(entries):
+                cols.append(c)
+                vals.append(v)
+            rowptr.append(len(cols))
+    return {
+        "vals": np.array(vals, dtype=np.float64),
+        "cols": np.array(cols, dtype=np.int64),
+        "rowptr": np.array(rowptr, dtype=np.int64),
+        "n": n,
+    }
+
+
+def rhs_field(nx: int, ny: int) -> np.ndarray:
+    """Deterministic right-hand side: a product of sines over the grid."""
+    i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="xy")
+    return (np.sin(np.pi * (i + 1.0) / (nx + 1.0))
+            * np.sin(np.pi * (j + 1.0) / (ny + 1.0))).reshape(-1)
+
+
+def make_solver(nx: int, ny: int, *, precond: str = "jacobi",
+                tol: float = 1e-10) -> CgSolver:
+    """Build a ready-to-solve CG system for the 2-D Laplacian."""
+    m = laplacian2d_csr(nx, ny)
+    a = CsrMatrix(m["vals"], m["cols"], m["rowptr"], m["n"])
+    if precond == "jacobi":
+        diag = np.full(m["n"], 4.0)
+        pre = JacobiPreconditioner(1.0 / diag)
+    elif precond == "identity":
+        pre = IdentityPreconditioner()
+    else:
+        raise ValueError(f"unknown preconditioner {precond!r}")
+    n = m["n"]
+    return CgSolver(a, pre, rhs_field(nx, ny), np.zeros(n), np.zeros(n),
+                    np.zeros(n), np.zeros(n), np.zeros(n), tol * tol)

@@ -1,0 +1,45 @@
+"""Compressed-sparse-row matrix as a guest object.
+
+The three CSR arrays (values, column indices, row pointers) are plain
+guest arrays; ``spmv`` is the library's hot loop and the reproduction's
+first *indirectly indexed* kernel — ``x[self.cols[k]]`` makes the inner
+load address data-dependent, an IR shape neither the stencil nor matmul
+libraries ever produce.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f64, i64, wootin
+
+
+@wootin
+class CsrMatrix:
+    """Square sparse matrix in CSR form (``n`` rows)."""
+
+    vals: Array(f64)
+    cols: Array(i64)
+    rowptr: Array(i64)
+    n: i64
+
+    def __init__(self, vals: Array(f64), cols: Array(i64),
+                 rowptr: Array(i64), n: i64):
+        self.vals = vals
+        self.cols = cols
+        self.rowptr = rowptr
+        self.n = n
+
+    def spmv(self, x: Array(f64), y: Array(f64)) -> None:
+        """y = A @ x (gather through the column-index array)."""
+        for i in range(self.n):
+            acc = 0.0
+            for k in range(self.rowptr[i], self.rowptr[i + 1]):
+                acc = acc + self.vals[k] * x[self.cols[k]]
+            y[i] = acc
+
+    def diag_into(self, d: Array(f64)) -> None:
+        """Extract the diagonal (used by the Jacobi preconditioner setup)."""
+        for i in range(self.n):
+            d[i] = 0.0
+            for k in range(self.rowptr[i], self.rowptr[i + 1]):
+                if self.cols[k] == i:
+                    d[i] = self.vals[k]

@@ -1,0 +1,49 @@
+"""Preconditioner components for the CG solver.
+
+Leaf classes with one ``apply`` method, swapped into the solver exactly
+like stencil solvers or vector kernels — identity (unpreconditioned CG)
+and Jacobi (diagonal scaling, its inverse diagonal precomputed host-side
+or via :meth:`~repro.library.cgsolve.CsrMatrix.diag_into`).
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f64, i64, wootin
+
+
+@wootin
+class Preconditioner:
+    """Interface: z = M⁻¹ r (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def apply(self, r: Array(f64), z: Array(f64), n: i64) -> None:
+        return None
+
+
+@wootin
+class IdentityPreconditioner(Preconditioner):
+    """No preconditioning: z = r."""
+
+    def __init__(self):
+        super().__init__()
+
+    def apply(self, r: Array(f64), z: Array(f64), n: i64) -> None:
+        for i in range(n):
+            z[i] = r[i]
+
+
+@wootin
+class JacobiPreconditioner(Preconditioner):
+    """Diagonal scaling: z = D⁻¹ r with the inverse diagonal precomputed."""
+
+    invdiag: Array(f64)
+
+    def __init__(self, invdiag: Array(f64)):
+        super().__init__()
+        self.invdiag = invdiag
+
+    def apply(self, r: Array(f64), z: Array(f64), n: i64) -> None:
+        for i in range(n):
+            z[i] = r[i] * self.invdiag[i]

@@ -1,0 +1,78 @@
+"""Preconditioned conjugate-gradient solver over the CSR + preconditioner
+components.
+
+``solve(maxiter)`` runs textbook PCG with an early exit on the residual
+tolerance — a ``while``/``break`` loop whose trip count is data-dependent,
+unlike every fixed-``range`` loop in the older libraries.  The final
+iterate is published via ``wj.output`` and the returned scalar is the
+2-norm of the residual, which the differential tests compare bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f64, i64, wj, wootin, wjmath
+from repro.library.cgsolve.csr import CsrMatrix
+from repro.library.cgsolve.precond import Preconditioner
+
+
+@wootin
+class CgSolver:
+    """Solve A x = b by preconditioned conjugate gradients."""
+
+    a: CsrMatrix
+    pre: Preconditioner
+    b: Array(f64)
+    x: Array(f64)
+    r: Array(f64)
+    z: Array(f64)
+    p: Array(f64)
+    q: Array(f64)
+    tol2: f64
+
+    def __init__(self, a: CsrMatrix, pre: Preconditioner, b: Array(f64),
+                 x: Array(f64), r: Array(f64), z: Array(f64), p: Array(f64),
+                 q: Array(f64), tol2: f64):
+        self.a = a
+        self.pre = pre
+        self.b = b
+        self.x = x
+        self.r = r
+        self.z = z
+        self.p = p
+        self.q = q
+        self.tol2 = tol2
+
+    def dot(self, u: Array(f64), v: Array(f64)) -> f64:
+        total = 0.0
+        for i in range(self.a.n):
+            total = total + u[i] * v[i]
+        return total
+
+    def solve(self, maxiter: i64) -> f64:
+        n = self.a.n
+        # r = b - A x;  z = M⁻¹ r;  p = z
+        self.a.spmv(self.x, self.q)
+        for i in range(n):
+            self.r[i] = self.b[i] - self.q[i]
+        self.pre.apply(self.r, self.z, n)
+        for i in range(n):
+            self.p[i] = self.z[i]
+        rz = self.dot(self.r, self.z)
+        it = 0
+        while it < maxiter:
+            if self.dot(self.r, self.r) <= self.tol2:
+                break
+            self.a.spmv(self.p, self.q)
+            alpha = rz / self.dot(self.p, self.q)
+            for i in range(n):
+                self.x[i] = self.x[i] + alpha * self.p[i]
+                self.r[i] = self.r[i] - alpha * self.q[i]
+            self.pre.apply(self.r, self.z, n)
+            rz2 = self.dot(self.r, self.z)
+            beta = rz2 / rz
+            rz = rz2
+            for i in range(n):
+                self.p[i] = self.z[i] + beta * self.p[i]
+            it = it + 1
+        wj.output("x", self.x)
+        return wjmath.sqrt(self.dot(self.r, self.r))

@@ -1,0 +1,21 @@
+"""Monte Carlo option-pricing class library.
+
+A paper-style guest library whose hot loop is a *reduction over a
+deterministic random stream*: the ``wj.lcg64``/``wj.u01`` RNG intrinsics
+drive Box-Muller normals through a geometric-Brownian-motion terminal
+sample and a devirtualized payoff class.  Bit-identical across all
+backends because the RNG state arithmetic is an intrinsic with defined
+64-bit wrap-around.
+"""
+
+from repro.library.montecarlo.payoff import CallPayoff, Payoff, PutPayoff
+from repro.library.montecarlo.pricer import GbmPricer
+from repro.library.montecarlo.rng import LcgStream
+
+__all__ = [
+    "CallPayoff",
+    "GbmPricer",
+    "LcgStream",
+    "Payoff",
+    "PutPayoff",
+]

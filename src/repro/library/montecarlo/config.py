@@ -1,0 +1,40 @@
+"""Host-side builders and the Black-Scholes closed form for validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.library.montecarlo.payoff import CallPayoff, PutPayoff
+from repro.library.montecarlo.pricer import GbmPricer
+from repro.library.montecarlo.rng import LcgStream
+
+__all__ = ["black_scholes", "make_pricer"]
+
+
+def make_pricer(npaths: int, *, kind: str = "call", s0: float = 100.0,
+                strike: float = 105.0, rate: float = 0.05,
+                sigma: float = 0.2, t: float = 1.0,
+                seed: int = 20140207) -> GbmPricer:
+    """Build a pricer whose ``payoffs`` buffer holds ``npaths`` samples."""
+    payoff = {"call": CallPayoff, "put": PutPayoff}[kind](strike)
+    return GbmPricer(LcgStream(seed), payoff, np.zeros(npaths), s0, rate,
+                     sigma, t)
+
+
+def _norm_cdf(x: float) -> float:
+    return 0.5 * math.erfc(-x / math.sqrt(2.0))
+
+
+def black_scholes(kind: str, s0: float, strike: float, rate: float,
+                  sigma: float, t: float) -> float:
+    """Closed-form European option price (the Monte Carlo target)."""
+    d1 = (math.log(s0 / strike) + (rate + 0.5 * sigma * sigma) * t) / (
+        sigma * math.sqrt(t))
+    d2 = d1 - sigma * math.sqrt(t)
+    if kind == "call":
+        return s0 * _norm_cdf(d1) - strike * math.exp(-rate * t) * _norm_cdf(d2)
+    if kind == "put":
+        return strike * math.exp(-rate * t) * _norm_cdf(-d2) - s0 * _norm_cdf(-d1)
+    raise ValueError(f"unknown option kind {kind!r}")

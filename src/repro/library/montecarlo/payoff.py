@@ -1,0 +1,50 @@
+"""Option payoff leaf classes.
+
+The payoff is the swappable component of the Monte Carlo library — the
+pricer composes a payoff the way the stencil app composes a solver, and
+translation devirtualizes ``value`` into straight arithmetic in the path
+loop.
+"""
+
+from __future__ import annotations
+
+from repro.lang import f64, wootin
+
+
+@wootin
+class Payoff:
+    """Interface: terminal-price payoff (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def value(self, s: f64) -> f64:
+        return 0.0
+
+
+@wootin
+class CallPayoff(Payoff):
+    """European call: max(S - K, 0)."""
+
+    strike: f64
+
+    def __init__(self, strike: f64):
+        super().__init__()
+        self.strike = strike
+
+    def value(self, s: f64) -> f64:
+        return max(s - self.strike, 0.0)
+
+
+@wootin
+class PutPayoff(Payoff):
+    """European put: max(K - S, 0)."""
+
+    strike: f64
+
+    def __init__(self, strike: f64):
+        super().__init__()
+        self.strike = strike
+
+    def value(self, s: f64) -> f64:
+        return max(self.strike - s, 0.0)

@@ -1,0 +1,62 @@
+"""Geometric-Brownian-motion Monte Carlo option pricer.
+
+One terminal sample per path: S_T = S₀·exp((r − σ²/2)T + σ√T·Z) with Z
+from Box-Muller over the deterministic per-path RNG stream.  The path
+loop is a reduction (mean discounted payoff) — the RNG-plus-reduction IR
+shape the other libraries lack.  Per-path payoffs are also stored into an
+array field and published via ``wj.output`` so tests can check the whole
+sample, not just the mean.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f64, i64, wj, wootin, wjmath
+from repro.library.montecarlo.payoff import Payoff
+from repro.library.montecarlo.rng import LcgStream
+
+#: 2π, spelled as a literal so every backend parses the same double
+_TWO_PI = 6.283185307179586
+
+
+@wootin
+class GbmPricer:
+    """Price a European option under GBM by direct Monte Carlo."""
+
+    rng: LcgStream
+    payoff: Payoff
+    payoffs: Array(f64)
+    s0: f64
+    rate: f64
+    sigma: f64
+    t: f64
+
+    def __init__(self, rng: LcgStream, payoff: Payoff, payoffs: Array(f64),
+                 s0: f64, rate: f64, sigma: f64, t: f64):
+        self.rng = rng
+        self.payoff = payoff
+        self.payoffs = payoffs
+        self.s0 = s0
+        self.rate = rate
+        self.sigma = sigma
+        self.t = t
+
+    def normal(self, state: i64) -> f64:
+        """Box-Muller: one standard normal from states ``state``/next.
+
+        ``u1`` is mapped onto (0, 1] so the log never sees zero."""
+        u1 = 1.0 - wj.u01(state)
+        u2 = wj.u01(wj.lcg64(state))
+        return wjmath.sqrt(-2.0 * wjmath.log(u1)) * wjmath.cos(_TWO_PI * u2)
+
+    def run(self, npaths: i64) -> f64:
+        drift = (self.rate - 0.5 * self.sigma * self.sigma) * self.t
+        vol = self.sigma * wjmath.sqrt(self.t)
+        total = 0.0
+        for path in range(npaths):
+            z = self.normal(self.rng.init_state(path))
+            st = self.s0 * wjmath.exp(drift + vol * z)
+            pay = self.payoff.value(st)
+            self.payoffs[path] = pay
+            total = total + pay
+        wj.output("payoffs", self.payoffs)
+        return wjmath.exp(-self.rate * self.t) * total / float(npaths)

@@ -1,0 +1,27 @@
+"""Counter-based deterministic random streams over the RNG intrinsic.
+
+``wj.lcg64`` is the framework's RNG intrinsic (one 64-bit LCG step with
+well-defined wrap-around on every backend); this component derives an
+independent state per Monte Carlo path from a seed and the path index, so
+paths are reproducible in any order and the whole stream is bit-identical
+across interpreter, Python backend, and C backend.
+"""
+
+from __future__ import annotations
+
+from repro.lang import i64, wootin, wj
+
+
+@wootin
+class LcgStream:
+    """Per-path deterministic RNG stream (counter-based seeding)."""
+
+    seed: i64
+
+    def __init__(self, seed: i64):
+        self.seed = seed
+
+    def init_state(self, path: i64) -> i64:
+        """The starting state of path ``path`` (Weyl-sequence offset, then
+        one mixing step so nearby paths decorrelate)."""
+        return wj.lcg64(wj.lcg64(self.seed + path * 2654435761))

@@ -1,0 +1,29 @@
+"""N-body class library: direct-summation particle dynamics.
+
+A third paper-style guest library (after stencil and matmul): state lives
+in flat arrays behind a :class:`ParticleSet`, behavior is composed from
+leaf force-law and integrator classes, and the whole object graph inlines
+away under translation.  Stresses IR shapes the other libraries do not —
+deep object-graph field chains (``self.p.x[i]``), triangular loop nests,
+and devirtualized calls inside an O(n²) hot loop.
+"""
+
+from repro.library.nbody.forces import ForceLaw, Gravity, HookeTether
+from repro.library.nbody.integrators import (
+    EulerIntegrator,
+    Integrator,
+    KickDriftIntegrator,
+)
+from repro.library.nbody.particles import ParticleSet
+from repro.library.nbody.system import NBodySystem
+
+__all__ = [
+    "EulerIntegrator",
+    "ForceLaw",
+    "Gravity",
+    "HookeTether",
+    "Integrator",
+    "KickDriftIntegrator",
+    "NBodySystem",
+    "ParticleSet",
+]

@@ -1,0 +1,55 @@
+"""Host-side builders for N-body systems (deterministic initial data).
+
+Initial conditions are closed-form (cos/sin lattice perturbations), not
+random, so every host constructs bit-identical inputs — the property the
+differential tests depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.library.nbody.forces import Gravity, HookeTether
+from repro.library.nbody.integrators import EulerIntegrator, KickDriftIntegrator
+from repro.library.nbody.particles import ParticleSet
+from repro.library.nbody.system import NBodySystem
+
+__all__ = ["initial_state", "make_system"]
+
+
+def initial_state(n: int) -> dict:
+    """Deterministic positions/velocities/masses for ``n`` particles."""
+    i = np.arange(n, dtype=np.float64)
+    phi = 2.0 * np.pi * i / n
+    return {
+        "x": np.cos(phi) * (1.0 + 0.1 * np.cos(3.0 * phi)),
+        "y": np.sin(phi) * (1.0 + 0.1 * np.sin(2.0 * phi)),
+        "z": 0.25 * np.sin(phi * 1.5),
+        "vx": -0.3 * np.sin(phi),
+        "vy": 0.3 * np.cos(phi),
+        "vz": 0.05 * np.cos(2.0 * phi),
+        "m": 1.0 + 0.5 * (i % 3) / 3.0,
+    }
+
+
+_FORCES = {
+    "gravity": lambda: Gravity(1.0, 0.05),
+    "hooke": lambda: HookeTether(0.25),
+}
+
+_INTEGRATORS = {
+    "euler": EulerIntegrator,
+    "kickdrift": KickDriftIntegrator,
+}
+
+
+def make_system(n: int, *, force: str = "gravity", integ: str = "kickdrift",
+                dt: float = 0.01) -> NBodySystem:
+    """Build a ready-to-run system over the deterministic initial state."""
+    st = initial_state(n)
+    p = ParticleSet(st["x"], st["y"], st["z"], st["vx"], st["vy"], st["vz"],
+                    st["m"], n)
+    return NBodySystem(
+        p, _FORCES[force](), _INTEGRATORS[integ](),
+        np.zeros(n), np.zeros(n), np.zeros(n), dt,
+    )

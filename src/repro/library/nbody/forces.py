@@ -1,0 +1,69 @@
+"""Pairwise force laws (the *what* of the N-body library).
+
+A force law turns a squared pair distance and the partner mass into the
+scalar that multiplies the displacement vector — the same leaf-class role
+the stencil solvers and vector kernels play.  Translation devirtualizes
+the ``scale``/``potential`` calls and inlines the law's constant fields,
+so the O(n²) inner loop compiles to straight arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.lang import f64, wootin, wjmath
+
+
+@wootin
+class ForceLaw:
+    """Interface: scalar pair interaction (abstract)."""
+
+    def __init__(self):
+        pass
+
+    def scale(self, r2: f64, mj: f64) -> f64:
+        """Acceleration contribution per unit displacement toward j."""
+        return 0.0
+
+    def potential(self, r2: f64, mi: f64, mj: f64) -> f64:
+        """Pair potential energy (for the energy diagnostic)."""
+        return 0.0
+
+
+@wootin
+class Gravity(ForceLaw):
+    """Plummer-softened Newtonian gravity: a_i += G m_j d / (d²+ε²)^{3/2}."""
+
+    g: f64
+    eps2: f64
+
+    def __init__(self, g: f64, eps2: f64):
+        super().__init__()
+        self.g = g
+        self.eps2 = eps2
+
+    def scale(self, r2: f64, mj: f64) -> f64:
+        d2 = r2 + self.eps2
+        return self.g * mj / (d2 * wjmath.sqrt(d2))
+
+    def potential(self, r2: f64, mi: f64, mj: f64) -> f64:
+        return -(self.g * mi * mj) / wjmath.sqrt(r2 + self.eps2)
+
+
+@wootin
+class HookeTether(ForceLaw):
+    """Linear spring tethering every pair: a_i += k m_j d (toy crystal).
+
+    Exists so tests can swap the force law and observe a different — but
+    still bit-reproducible — trajectory through the identical system code.
+    """
+
+    k: f64
+
+    def __init__(self, k: f64):
+        super().__init__()
+        self.k = k
+
+    def scale(self, r2: f64, mj: f64) -> f64:
+        return self.k * mj
+
+    def potential(self, r2: f64, mi: f64, mj: f64) -> f64:
+        return 0.5 * self.k * mi * mj * r2

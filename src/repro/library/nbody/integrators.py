@@ -1,0 +1,62 @@
+"""Time integrators (the *how* of the N-body library).
+
+Each integrator advances a :class:`~repro.library.nbody.ParticleSet` one
+step given the freshly accumulated accelerations.  Both variants use a
+single force evaluation per step so they are drop-in interchangeable; they
+differ in update order, which is observable in the trajectory — the tests
+exercise both to prove the devirtualized composition really switches.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f64, wootin
+from repro.library.nbody.particles import ParticleSet
+
+
+@wootin
+class Integrator:
+    """Interface: advance particles one ``dt`` given accelerations."""
+
+    def __init__(self):
+        pass
+
+    def advance(self, p: ParticleSet, ax: Array(f64), ay: Array(f64),
+                az: Array(f64), dt: f64) -> None:
+        return None
+
+
+@wootin
+class EulerIntegrator(Integrator):
+    """Explicit Euler: drift with the old velocity, then kick."""
+
+    def __init__(self):
+        super().__init__()
+
+    def advance(self, p: ParticleSet, ax: Array(f64), ay: Array(f64),
+                az: Array(f64), dt: f64) -> None:
+        for i in range(p.n):
+            p.x[i] = p.x[i] + p.vx[i] * dt
+            p.y[i] = p.y[i] + p.vy[i] * dt
+            p.z[i] = p.z[i] + p.vz[i] * dt
+            p.vx[i] = p.vx[i] + ax[i] * dt
+            p.vy[i] = p.vy[i] + ay[i] * dt
+            p.vz[i] = p.vz[i] + az[i] * dt
+
+
+@wootin
+class KickDriftIntegrator(Integrator):
+    """Semi-implicit (symplectic) Euler: kick first, drift with the new
+    velocity — the single-evaluation form of leapfrog."""
+
+    def __init__(self):
+        super().__init__()
+
+    def advance(self, p: ParticleSet, ax: Array(f64), ay: Array(f64),
+                az: Array(f64), dt: f64) -> None:
+        for i in range(p.n):
+            p.vx[i] = p.vx[i] + ax[i] * dt
+            p.vy[i] = p.vy[i] + ay[i] * dt
+            p.vz[i] = p.vz[i] + az[i] * dt
+            p.x[i] = p.x[i] + p.vx[i] * dt
+            p.y[i] = p.y[i] + p.vy[i] * dt
+            p.z[i] = p.z[i] + p.vz[i] * dt

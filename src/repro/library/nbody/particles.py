@@ -1,0 +1,39 @@
+"""Particle state as a structure-of-arrays object.
+
+The paper's libraries keep bulk state in flat guest arrays addressed
+through small objects (grids + indexers); the N-body library follows the
+same idiom: one :class:`ParticleSet` holds seven parallel ``f64`` arrays
+(positions, velocities, masses).  The object itself is inlined away by
+translation — what remains in the generated C is seven raw array pointers
+and the constant particle count.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f64, i64, wootin
+
+
+@wootin
+class ParticleSet:
+    """Positions, velocities, and masses of ``n`` particles (SoA layout)."""
+
+    x: Array(f64)
+    y: Array(f64)
+    z: Array(f64)
+    vx: Array(f64)
+    vy: Array(f64)
+    vz: Array(f64)
+    m: Array(f64)
+    n: i64
+
+    def __init__(self, x: Array(f64), y: Array(f64), z: Array(f64),
+                 vx: Array(f64), vy: Array(f64), vz: Array(f64),
+                 m: Array(f64), n: i64):
+        self.x = x
+        self.y = y
+        self.z = z
+        self.vx = vx
+        self.vy = vy
+        self.vz = vz
+        self.m = m
+        self.n = n

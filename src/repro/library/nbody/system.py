@@ -1,0 +1,83 @@
+"""The N-body application object: force accumulation + integration loop.
+
+``NBodySystem`` composes a particle set, a force law, and an integrator —
+an object graph three levels deep whose method calls all disappear under
+devirtualization.  ``run(steps)`` performs the O(n²) direct-summation
+sweep, advances the particles, publishes the final positions through
+``wj.output``, and returns the total energy (kinetic + pair potential) as
+the scalar the differential tests compare bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Array, f64, i64, wj, wootin
+from repro.library.nbody.forces import ForceLaw
+from repro.library.nbody.integrators import Integrator
+from repro.library.nbody.particles import ParticleSet
+
+
+@wootin
+class NBodySystem:
+    """Direct-summation N-body simulation over pluggable components."""
+
+    p: ParticleSet
+    force: ForceLaw
+    integ: Integrator
+    ax: Array(f64)
+    ay: Array(f64)
+    az: Array(f64)
+    dt: f64
+
+    def __init__(self, p: ParticleSet, force: ForceLaw, integ: Integrator,
+                 ax: Array(f64), ay: Array(f64), az: Array(f64), dt: f64):
+        self.p = p
+        self.force = force
+        self.integ = integ
+        self.ax = ax
+        self.ay = ay
+        self.az = az
+        self.dt = dt
+
+    def accumulate(self) -> None:
+        """Accumulate pairwise accelerations into ax/ay/az."""
+        for i in range(self.p.n):
+            self.ax[i] = 0.0
+            self.ay[i] = 0.0
+            self.az[i] = 0.0
+        for i in range(self.p.n):
+            for j in range(self.p.n):
+                if j != i:
+                    dx = self.p.x[j] - self.p.x[i]
+                    dy = self.p.y[j] - self.p.y[i]
+                    dz = self.p.z[j] - self.p.z[i]
+                    r2 = dx * dx + dy * dy + dz * dz
+                    s = self.force.scale(r2, self.p.m[j])
+                    self.ax[i] = self.ax[i] + dx * s
+                    self.ay[i] = self.ay[i] + dy * s
+                    self.az[i] = self.az[i] + dz * s
+
+    def energy(self) -> f64:
+        """Total energy: kinetic plus pair potential (i < j)."""
+        e = 0.0
+        for i in range(self.p.n):
+            v2 = (self.p.vx[i] * self.p.vx[i]
+                  + self.p.vy[i] * self.p.vy[i]
+                  + self.p.vz[i] * self.p.vz[i])
+            e = e + 0.5 * self.p.m[i] * v2
+        for i in range(self.p.n):
+            for j in range(i + 1, self.p.n):
+                dx = self.p.x[j] - self.p.x[i]
+                dy = self.p.y[j] - self.p.y[i]
+                dz = self.p.z[j] - self.p.z[i]
+                r2 = dx * dx + dy * dy + dz * dz
+                e = e + self.force.potential(r2, self.p.m[i], self.p.m[j])
+        return e
+
+    def run(self, steps: i64) -> f64:
+        for t in range(steps):
+            self.accumulate()
+            self.integ.advance(self.p, self.ax, self.ay, self.az, self.dt)
+        wj.output("x", self.p.x)
+        wj.output("y", self.p.y)
+        wj.output("z", self.p.z)
+        return self.energy()

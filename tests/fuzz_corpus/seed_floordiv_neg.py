@@ -1,0 +1,27 @@
+from repro import Array, f64, i64, wj, wootin
+
+
+@wootin
+class FuzzGuest:
+    n: i64
+
+    def __init__(self, n: i64):
+        self.n = n
+
+    def run(self, iters: i64) -> f64:
+        # Negative operands through // and % in both domains, routed
+        # through arrays so constant folding cannot pre-compute them on
+        # the host: Python floor semantics must survive translation to
+        # C's truncating operators.
+        vals = wj.zeros(f64, self.n)
+        for i in range(self.n):
+            vals[i] = float(i) - 2.5
+        total = 0.0
+        m = 0
+        for it in range(iters):
+            for i in range(self.n):
+                m = (i - 3) // 2
+                total = total + float(m) + float((i - 4) % 3)
+                total = total + (vals[i] // 2.0) + (vals[i] % 2.0)
+        wj.output("vals", vals)
+        return total

@@ -1,0 +1,22 @@
+from repro import Array, f64, i64, wj, wootin
+
+
+@wootin
+class FuzzGuest:
+    n: i64
+
+    def __init__(self, n: i64):
+        self.n = n
+
+    def run(self, iters: i64) -> f64:
+        # Scatter stores through a computed (and sometimes negative before
+        # the mod) index expression: the store address is data-dependent,
+        # and i64 % must be Python-style so the index stays in bounds.
+        arr = wj.zeros(f64, self.n)
+        for i in range(self.n):
+            arr[(i * 5 - 7) % self.n] = float(i) * 0.25
+        total = 0.0
+        for i in range(self.n):
+            total = total + arr[i]
+        wj.output("arr", arr)
+        return total

@@ -1,0 +1,28 @@
+from repro import Array, f64, i64, wj, wootin
+
+
+@wootin
+class FuzzGuest:
+    n: i64
+
+    def __init__(self, n: i64):
+        self.n = n
+
+    def run(self, iters: i64) -> f64:
+        # A while loop exited by break plus a for loop with continue —
+        # the unstructured-control shapes the original random harness
+        # never generated.
+        acc = 0.0
+        w = 0
+        while w < 10:
+            acc = acc + 0.5
+            if acc > 2.0:
+                break
+            w = w + 1
+        arr = wj.zeros(f64, self.n)
+        for i in range(self.n):
+            if i == 2:
+                continue
+            arr[i] = acc + float(i)
+        wj.output("arr", arr)
+        return acc + float(w) * 0.25

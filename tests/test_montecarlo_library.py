@@ -1,0 +1,107 @@
+"""Monte Carlo class library: RNG-intrinsic bit-identity across backends,
+optimizer and cache legs, and pricing accuracy vs Black-Scholes."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro import jit, wj
+from repro.library.montecarlo.config import black_scholes, make_pricer
+
+NPATHS = 1500
+S0, STRIKE, RATE, SIGMA, T = 100.0, 105.0, 0.05, 0.2, 1.0
+
+
+def _bits(v: float) -> bytes:
+    return struct.pack("<d", float(v))
+
+
+def _interp_price(kind, npaths=NPATHS):
+    import repro.rt as rt
+
+    rt.current.reset()
+    value = float(make_pricer(npaths, kind=kind).run(npaths))
+    return value, rt.current.take_outputs()
+
+
+class TestRngIntrinsic:
+    def test_lcg64_is_deterministic_and_wraps(self):
+        """One LCG step from a known state, including the wrap-around past
+        2**63 that plain Python ints would not perform."""
+        s = wj.lcg64(20140207)
+        assert s == wj.lcg64(20140207)
+        assert -(2 ** 63) <= s < 2 ** 63
+        # chain a few steps: all distinct, all in i64 range
+        seen = set()
+        for _ in range(64):
+            s = wj.lcg64(s)
+            assert -(2 ** 63) <= s < 2 ** 63
+            seen.add(s)
+        assert len(seen) == 64
+
+    def test_u01_maps_into_unit_interval(self):
+        s = 987654321
+        for _ in range(256):
+            s = wj.lcg64(s)
+            u = wj.u01(s)
+            assert 0.0 <= u < 1.0
+
+    def test_u01_uses_top_bits(self):
+        """States differing only in low bits (below the 11-bit shift) give
+        the same u01 value — the top 53 bits are the mantissa source."""
+        assert wj.u01(1 << 12) != wj.u01(2 << 12)
+        assert wj.u01(4096) == wj.u01(4097)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("kind", ["call", "put"])
+    def test_translated_matches_interpreter(self, backend, kind):
+        ref, ref_outs = _interp_price(kind)
+        res = jit(make_pricer(NPATHS, kind=kind), "run", NPATHS,
+                  backend=backend, use_cache=False).invoke()
+        assert _bits(float(res.value)) == _bits(ref)
+        assert res.output("payoffs").tobytes() == \
+            ref_outs["payoffs"].tobytes()
+
+    def test_opt_modes_preserve_bits(self, backend, monkeypatch):
+        ref, _ = _interp_price("call")
+        for passes in ("0", "1"):
+            monkeypatch.setenv("REPRO_OPT_PASSES", passes)
+            res = jit(make_pricer(NPATHS, kind="call"), "run", NPATHS,
+                      backend=backend, use_cache=False).invoke()
+            assert _bits(float(res.value)) == _bits(ref)
+
+    def test_cache_warm_run_is_bit_identical(self, backend):
+        cold = jit(make_pricer(NPATHS), "run", NPATHS, backend=backend,
+                   use_cache=True).invoke()
+        warm = jit(make_pricer(NPATHS), "run", NPATHS, backend=backend,
+                   use_cache=True).invoke()
+        assert _bits(float(warm.value)) == _bits(float(cold.value))
+        assert warm.output("payoffs").tobytes() == \
+            cold.output("payoffs").tobytes()
+
+
+class TestPricing:
+    @pytest.mark.parametrize("kind", ["call", "put"])
+    def test_price_approaches_black_scholes(self, kind):
+        value, _ = _interp_price(kind, npaths=3000)
+        bs = black_scholes(kind, S0, STRIKE, RATE, SIGMA, T)
+        assert value == pytest.approx(bs, rel=0.05)
+
+    def test_put_call_parity(self):
+        """Same seed => same sampled paths, so C - P estimates the
+        discounted forward S0 - K·e^{-rT} with only Monte Carlo error."""
+        call, _ = _interp_price("call")
+        put, _ = _interp_price("put")
+        target = S0 - STRIKE * math.exp(-RATE * T)
+        assert abs((call - put) - target) < 1.0
+
+    def test_payoffs_output_is_the_sample(self):
+        value, outs = _interp_price("call")
+        pay = outs["payoffs"]
+        assert pay.shape == (NPATHS,)
+        assert (pay >= 0.0).all()
+        assert value == pytest.approx(
+            math.exp(-RATE * T) * pay.mean(), rel=1e-12)
