@@ -7,6 +7,9 @@
     python -m repro translate-demo             # show a sample translation
     python -m repro cache stats                # persistent code-cache state
     python -m repro cache clear                # drop both cache tiers
+    python -m repro cache evict                # enforce the LRU byte cap
+    python -m repro cache warm MANIFEST        # precompile a deployment's
+                                               # hot keys (compile farm)
     python -m repro jit stats [--json]         # JIT service counters/config
     python -m repro opt report [--json]        # mid-end pass before/after
     python -m repro trace summarize [FILE]     # per-phase span breakdown
@@ -107,7 +110,8 @@ def cmd_translate_demo(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    """Inspect or clear the persistent translated-code cache."""
+    """Inspect, clear, evict, or warm the persistent translated-code cache."""
+    import json
     import os
 
     if args.dir:
@@ -121,13 +125,67 @@ def cmd_cache(args) -> int:
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {code_cache.cache_dir()}")
         return 0
+
+    if args.action == "evict":
+        cap_override = (int(args.cap_mb * 1024 * 1024)
+                        if args.cap_mb is not None else None)
+        report = code_cache.evict(cap_bytes=cap_override)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        cap = report["cap_bytes"]
+        print(f"cap            : "
+              + (f"{cap / (1024 * 1024):.1f} MiB" if cap else
+                 "unbounded (REPRO_DISK_CACHE_MAX_MB unset)"))
+        print(f"evicted        : {report['evicted']} entries "
+              f"({report['bytes_freed'] / 1024:.1f} KiB freed)")
+        print(f"tmp swept      : {report['tmp_swept']} stale files")
+        print(f"remaining      : {report['entries']} entries, "
+              f"{report['bytes'] / 1024:.1f} KiB")
+        return 0
+
+    if args.action == "warm":
+        from repro.jit import warmup
+
+        if not args.manifest:
+            print("cache warm requires a manifest path", file=sys.stderr)
+            return 2
+        try:
+            report = warmup.warm(args.manifest,
+                                 progress=None if args.json else print)
+        except warmup.ManifestError as exc:
+            print(f"bad manifest: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(f"warmed {report['entries']} entries: "
+                  f"{report['compiled']} compiled, {report['hits']} already "
+                  f"hot, {len(report['errors'])} errors "
+                  f"({report['elapsed_s']:.2f} s)")
+        return 1 if report["errors"] else 0
+
     st = code_cache.stats()
+    if args.json:
+        print(json.dumps(st, indent=2, sort_keys=True))
+        return 0
+    cap = st["disk_cap_bytes"]
     print(f"cache dir      : {st['dir']}")
     print(f"disk tier      : {'enabled' if st['disk_enabled'] else 'disabled (REPRO_DISK_CACHE=0)'}")
+    print(f"disk cap       : "
+          + (f"{cap / (1024 * 1024):.1f} MiB (LRU eviction on store)" if cap
+             else "unbounded (REPRO_DISK_CACHE_MAX_MB to cap)"))
     print(f"disk entries   : {st['disk_entries']}"
           + (f"  ({', '.join(f'{k}: {v}' for k, v in sorted(st['disk_by_kind'].items()))})"
              if st['disk_by_kind'] else ""))
     print(f"disk footprint : {st['disk_bytes'] / 1024:.1f} KiB")
+    if st["hit_age_min_s"] is not None:
+        print(f"hit age        : {st['hit_age_min_s']:.0f} s (hottest) .. "
+              f"{st['hit_age_max_s']:.0f} s (coldest), "
+              f"{st['disk_hits_recorded']} recorded hits")
+    print(f"tmp files      : {st['tmp_files']}"
+          + (f"  (swept {st['tmp_swept']} this process)" if st['tmp_swept']
+             else ""))
     print(f"memory entries : {st['memory_entries']}")
     return 0
 
@@ -154,6 +212,11 @@ def cmd_jit(args) -> int:
           f"(failures: {st['tier_failures']})")
     print(f"build queue      : depth {st['queue_depth']}, "
           f"high-water {st['max_queue_depth']}")
+    print(f"farm (x-process) : {'on' if st['farm_enabled'] else 'off (REPRO_FARM=0)'}; "
+          f"lock waits {st['farm_lock_waits']} "
+          f"({st['farm_lock_wait_s']:.3f} s blocked, "
+          f"{st['farm_lock_timeouts']} timeouts), "
+          f"dedup hits {st['farm_dedup_hits']}")
     return 0
 
 
@@ -370,10 +433,18 @@ def main(argv=None) -> int:
     p_demo.set_defaults(fn=cmd_translate_demo)
 
     p_cache = sub.add_parser("cache", help="persistent code-cache maintenance")
-    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("action", choices=["stats", "clear", "evict", "warm"])
+    p_cache.add_argument("manifest", nargs="?", default=None,
+                         help="warm: manifest JSON of hot programs to "
+                              "precompile (docs/COMPILE_FARM.md)")
     p_cache.add_argument("--dir", default=None,
                          help="cache directory (default: REPRO_CACHE_DIR or "
                               "~/.cache/repro-wootinj)")
+    p_cache.add_argument("--cap-mb", type=float, default=None,
+                         help="evict: cap override in MiB (default: "
+                              "REPRO_DISK_CACHE_MAX_MB)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="machine-readable output (scripts)")
     p_cache.set_defaults(fn=cmd_cache)
 
     p_jit = sub.add_parser("jit", help="JIT service counters and config")

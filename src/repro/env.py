@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["env_flag"]
+__all__ = ["env_flag", "env_float"]
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 _FALSY = frozenset({"0", "false", "no", "off", ""})
@@ -40,3 +40,19 @@ def env_flag(name: str, default: bool = False) -> bool:
     if val in _FALSY:
         return False
     return default
+
+
+def env_float(name: str, default: float) -> float:
+    """Parse the numeric environment variable ``name``.
+
+    Same contract as :func:`env_flag`: unset, empty, or unparsable values
+    yield ``default`` instead of raising — a typo in a tuning knob
+    (``REPRO_DISK_CACHE_MAX_MB``, ``REPRO_FARM_LOCK_TIMEOUT_S``) must not
+    crash a worker at import time."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw.strip())
+    except ValueError:
+        return default

@@ -28,11 +28,22 @@ concurrent writers are safe, and every entry carries content hashes of its
 payload files; corrupted or truncated entries are detected at load time,
 dropped, and silently recompiled.
 
+The disk tier is multi-process aware (it is the shared state of the
+compile farm, see docs/COMPILE_FARM.md): every entry carries hit/age
+accounting in its metadata, the tier is size-capped with LRU eviction
+(``REPRO_DISK_CACHE_MAX_MB``), writers can hold a per-entry cross-process
+file lock (:mod:`repro.jit.locks`), and maintenance tolerates concurrent
+workers evicting the same entry.
+
 Environment:
 
 * ``REPRO_CACHE_DIR``   — disk-tier directory (default
   ``$XDG_CACHE_HOME/repro-wootinj`` or ``~/.cache/repro-wootinj``);
-* ``REPRO_DISK_CACHE=0`` — disable the disk tier (memory tier stays on).
+* ``REPRO_DISK_CACHE=0`` — disable the disk tier (memory tier stays on);
+* ``REPRO_DISK_CACHE_MAX_MB`` — byte cap for the disk tier (0/unset =
+  unbounded); exceeding it evicts least-recently-*used* entries on store;
+* ``REPRO_CACHE_TMP_MAX_AGE_S`` — age after which orphaned ``*.tmp<pid>``
+  files from crashed writers are swept (default 3600).
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ import re
 import shutil
 import sys
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -59,7 +71,10 @@ __all__ = [
     "cache_dir",
     "clear",
     "clear_memory",
+    "disk_cap_bytes",
     "disk_enabled",
+    "entry_lock",
+    "evict",
     "guest_source_digest",
     "lookup",
     "program_key",
@@ -94,7 +109,8 @@ _TIER_LOCK = threading.RLock()
 _MEMORY: dict[str, tuple] = {}
 
 #: in-process counters, reported by :func:`stats`
-_COUNTERS = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+_COUNTERS = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
+             "evictions": 0, "tmp_swept": 0, "torn_dropped": 0}
 
 #: guest-source digest memo: (registry generation, sorted root qualnames)
 _GUEST_DIGEST_MEMO: dict[tuple, tuple[str, bool]] = {}
@@ -291,6 +307,20 @@ def disk_enabled() -> bool:
     return env_flag("REPRO_DISK_CACHE", default=True)
 
 
+def disk_cap_bytes() -> int:
+    """The disk-tier byte cap (``REPRO_DISK_CACHE_MAX_MB``; 0 = unbounded)."""
+    from repro.env import env_float
+
+    mb = env_float("REPRO_DISK_CACHE_MAX_MB", 0.0)
+    return int(mb * 1024 * 1024) if mb > 0 else 0
+
+
+def _tmp_max_age_s() -> float:
+    from repro.env import env_float
+
+    return env_float("REPRO_CACHE_TMP_MAX_AGE_S", 3600.0)
+
+
 def _sha256_file(path: Path) -> str:
     h = hashlib.sha256()
     with open(path, "rb") as fh:
@@ -309,50 +339,146 @@ def _entry_paths(root: Path, digest: str) -> tuple[Path, Path, Path]:
     return root / f"{digest}.json", root / f"{digest}.src", root / f"{digest}.so"
 
 
-def _drop_entry(root: Path, digest: str) -> None:
-    for p in _entry_paths(root, digest):
-        try:
-            p.unlink()
-        except OSError:
-            pass
+def entry_lock(digest: str, root: Optional[Path] = None):
+    """The cross-process :class:`~repro.jit.locks.FileLock` guarding one
+    entry — the compile farm's single-flight token (docs/COMPILE_FARM.md)."""
+    from repro.jit.locks import FileLock
+
+    return FileLock((root or cache_dir()) / f"{digest}.lock")
+
+
+def _drop_entry(root: Path, digest: str, *, if_free: bool = False,
+                drop_lock: bool = False) -> bool:
+    """Remove one entry's files; returns True iff *this caller* removed the
+    ``.json`` commit marker (so concurrent droppers count each entry once).
+
+    ``FileNotFoundError`` is expected under concurrency — two workers may
+    evict the same digest — and never double-counts or raises.  With
+    ``if_free`` the drop is skipped when another process holds the entry's
+    write lock (it is mid-rewrite: what looked torn is being replaced)."""
+    lock = None
+    if if_free or drop_lock:
+        lock = entry_lock(digest, root)
+        if not lock.acquire(timeout=0):
+            return False
+    try:
+        removed_json = False
+        jpath, spath, opath = _entry_paths(root, digest)
+        # json first: readers treat its absence as "no entry", so payload
+        # files never vanish under a reader that already committed to them
+        for p in (jpath, spath, opath):
+            try:
+                p.unlink()
+            except FileNotFoundError:
+                continue
+            except OSError:
+                continue
+            if p is jpath:
+                removed_json = True
+        if drop_lock and lock is not None:
+            try:
+                lock.path.unlink()
+            except OSError:
+                pass
+        return removed_json
+    finally:
+        if lock is not None:
+            lock.release()
+
+
+def _validate_entry(meta: dict, spath: Path, opath: Path) -> tuple[str, str]:
+    """Check one entry's completeness + content hashes; returns
+    ``(source, so_path)`` or raises ValueError/OSError on a torn entry."""
+    if meta.get("v") != _FORMAT_VERSION:
+        raise ValueError("format version mismatch")
+    if "kind" not in meta or "sha_src" not in meta:
+        raise ValueError("incomplete metadata")
+    if not spath.is_file():
+        raise ValueError("torn entry: source payload missing")
+    source = spath.read_text()
+    if hashlib.sha256(source.encode()).hexdigest() != meta["sha_src"]:
+        raise ValueError("source hash mismatch")
+    if meta["kind"] == "c":
+        if "sha_so" not in meta:
+            raise ValueError("incomplete metadata: sha_so missing")
+        if not opath.is_file():
+            raise ValueError("torn entry: shared object missing")
+        if _sha256_file(opath) != meta["sha_so"]:
+            raise ValueError("shared-object hash mismatch")
+    return source, str(opath)
+
+
+#: meta keys attached at load time, never persisted back to the ``.json``
+_RUNTIME_META_KEYS = ("source", "so_path")
+
+
+def _record_hit(jpath: Path, meta: dict) -> None:
+    """Bump the entry's use accounting (atime-style: ``hits`` count and
+    ``last_used`` stamp drive LRU eviction).  Best-effort — a lost update
+    under concurrent hits only makes the entry look slightly colder."""
+    meta["hits"] = int(meta.get("hits", 0)) + 1
+    meta["last_used"] = time.time()
+    persisted = {k: v for k, v in meta.items() if k not in _RUNTIME_META_KEYS}
+    try:
+        _atomic_write_bytes(jpath,
+                            json.dumps(persisted, sort_keys=True).encode())
+    except OSError:
+        pass
 
 
 def _disk_get(digest: str) -> Optional[dict]:
     """Load and verify one disk entry; returns meta dict (with ``source``
-    and ``so_path`` attached) or None.  Corrupted entries are dropped."""
+    and ``so_path`` attached) or None.  Corrupted/torn entries are dropped
+    (unless a concurrent writer holds the entry lock — then it is simply
+    being replaced and the miss is momentary)."""
     root = cache_dir()
     jpath, spath, opath = _entry_paths(root, digest)
     if not jpath.exists():
         return None
     try:
         meta = json.loads(jpath.read_text())
-        if meta.get("v") != _FORMAT_VERSION:
-            raise ValueError("format version mismatch")
-        source = spath.read_text()
-        if hashlib.sha256(source.encode()).hexdigest() != meta["sha_src"]:
-            raise ValueError("source hash mismatch")
-        if meta["kind"] == "c":
-            if _sha256_file(opath) != meta["sha_so"]:
-                raise ValueError("shared-object hash mismatch")
-        meta["source"] = source
-        meta["so_path"] = str(opath)
-        return meta
+        source, so_path = _validate_entry(meta, spath, opath)
     except (OSError, ValueError, KeyError, json.JSONDecodeError):
-        _drop_entry(root, digest)
+        if _drop_entry(root, digest, if_free=True):
+            with _TIER_LOCK:
+                _COUNTERS["torn_dropped"] += 1
         return None
+    _record_hit(jpath, meta)
+    meta["source"] = source
+    meta["so_path"] = so_path
+    return meta
 
 
 def _disk_put(digest: str, meta: dict, source: str,
               so_path: Optional[str]) -> None:
-    """Write one entry atomically; best-effort (never fails compilation)."""
+    """Write one entry; best-effort (never fails compilation).
+
+    Write order is the commit protocol: payloads first (``.src``, then the
+    ``.so`` copy), the ``.json`` metadata **last** — its appearance is the
+    single commit point, so a crash mid-write leaves only sweepable
+    ``*.tmp`` orphans or payloads without a marker, never a marker naming
+    payloads that are missing or stale.  Each file individually goes
+    through a ``.tmp<pid>`` sibling + ``os.replace``."""
     try:
         root = cache_dir()
         root.mkdir(parents=True, exist_ok=True)
         jpath, spath, opath = _entry_paths(root, digest)
+        prev_compiles = 0
+        try:  # carry the per-entry compile count across rebuilds
+            prev_compiles = int(json.loads(jpath.read_text())
+                                .get("compile_count", 0))
+        except (OSError, ValueError, json.JSONDecodeError):
+            pass
         _atomic_write_bytes(spath, source.encode())
         meta = dict(meta)
         meta["v"] = _FORMAT_VERSION
         meta["sha_src"] = hashlib.sha256(source.encode()).hexdigest()
+        now = time.time()
+        meta["created"] = now
+        meta["last_used"] = now
+        meta["hits"] = 0
+        meta["builder_pid"] = os.getpid()
+        meta["compile_count"] = prev_compiles + 1
         if so_path is not None:
             tmp = opath.with_name(f"{opath.name}.tmp{os.getpid()}")
             shutil.copyfile(so_path, tmp)
@@ -361,7 +487,8 @@ def _disk_put(digest: str, meta: dict, source: str,
         # the json is written last: its presence marks a complete entry
         _atomic_write_bytes(jpath, json.dumps(meta, sort_keys=True).encode())
     except OSError:
-        pass
+        return
+    _evict_if_needed(root)
 
 
 # ---------------------------------------------------------------------------
@@ -455,7 +582,7 @@ def lookup(key: CacheKey, *, snapshot, recv_shape, arg_shapes) -> Optional[Cache
                 try:
                     program, compiled = _hydrate(meta, snapshot, recv_shape, arg_shapes)
                 except Exception:  # noqa: BLE001 - recompile on any damage
-                    _drop_entry(cache_dir(), key.digest)
+                    _drop_entry(cache_dir(), key.digest, if_free=True)
                 else:
                     _MEMORY[key.digest] = (program, compiled, meta)
                     _COUNTERS["disk_hits"] += 1
@@ -480,6 +607,118 @@ def store(key: CacheKey, program: Program, compiled, report) -> None:
 # ---------------------------------------------------------------------------
 
 _ENTRY_FILE_RE = re.compile(r"^[0-9a-f]{32,}\.(json|src|so)$")
+_LOCK_FILE_RE = re.compile(r"^[0-9a-f]{32,}\.lock$")
+
+
+def _sweep_stale_tmp(root: Path, max_age_s: Optional[float] = None) -> int:
+    """Remove ``*.tmp<pid>`` orphans older than ``max_age_s`` — the debris
+    of writers that died between ``write`` and ``os.replace``.  Young tmp
+    files are left alone (their writer may still be alive mid-copy)."""
+    if max_age_s is None:
+        max_age_s = _tmp_max_age_s()
+    swept = 0
+    now = time.time()
+    if not root.is_dir():
+        return 0
+    for p in root.iterdir():
+        if ".tmp" not in p.name:
+            continue
+        try:
+            if (now - p.stat().st_mtime) < max_age_s:
+                continue
+            p.unlink()
+        except OSError:  # vanished or unreadable: another sweeper got it
+            continue
+        swept += 1
+    if swept:
+        with _TIER_LOCK:
+            _COUNTERS["tmp_swept"] += swept
+    return swept
+
+
+def _entry_infos(root: Path) -> list[dict]:
+    """One dict per complete entry: digest, total bytes, last_used, hits.
+
+    Entries whose ``.json`` cannot be read are skipped (a concurrent
+    writer/evictor owns them right now)."""
+    infos = []
+    if not root.is_dir():
+        return infos
+    for jpath in root.iterdir():
+        if not jpath.name.endswith(".json") or not _ENTRY_FILE_RE.match(jpath.name):
+            continue
+        digest = jpath.name[:-len(".json")]
+        try:
+            meta = json.loads(jpath.read_text())
+            mtime = jpath.stat().st_mtime
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        n_bytes = 0
+        for p in _entry_paths(root, digest):
+            try:
+                n_bytes += p.stat().st_size
+            except OSError:
+                pass
+        infos.append({
+            "digest": digest,
+            "bytes": n_bytes,
+            "kind": meta.get("kind", "?"),
+            "hits": int(meta.get("hits", 0)),
+            "last_used": float(meta.get("last_used", mtime)),
+            "compile_count": int(meta.get("compile_count", 1)),
+        })
+    return infos
+
+
+def evict(cap_bytes: Optional[int] = None) -> dict:
+    """Shrink the disk tier to ``cap_bytes`` (default: the configured
+    ``REPRO_DISK_CACHE_MAX_MB``) by dropping least-recently-used entries,
+    and sweep stale tmp orphans.  Returns an eviction report.
+
+    Entries another process is actively (re)writing — their file lock is
+    held — are skipped this round.  ``cap_bytes == 0`` means unbounded:
+    only the tmp sweep runs."""
+    root = cache_dir()
+    if cap_bytes is None:
+        cap_bytes = disk_cap_bytes()
+    swept = _sweep_stale_tmp(root)
+    infos = _entry_infos(root)
+    total = sum(i["bytes"] for i in infos)
+    evicted = 0
+    freed = 0
+    if cap_bytes > 0 and total > cap_bytes:
+        infos.sort(key=lambda i: (i["last_used"], i["digest"]))
+        for info in infos:
+            if total <= cap_bytes:
+                break
+            if not _drop_entry(root, info["digest"], if_free=True,
+                               drop_lock=True):
+                continue  # busy (being rewritten) or already gone
+            with _TIER_LOCK:
+                _MEMORY.pop(info["digest"], None)
+            evicted += 1
+            freed += info["bytes"]
+            total -= info["bytes"]
+    if evicted:
+        with _TIER_LOCK:
+            _COUNTERS["evictions"] += evicted
+    return {
+        "cap_bytes": cap_bytes,
+        "evicted": evicted,
+        "bytes_freed": freed,
+        "tmp_swept": swept,
+        "entries": len(infos) - evicted,
+        "bytes": total,
+    }
+
+
+def _evict_if_needed(root: Path) -> None:
+    """Post-store hook: enforce the byte cap when one is configured."""
+    if disk_cap_bytes() > 0:
+        try:
+            evict()
+        except OSError:
+            pass
 
 
 def clear_memory() -> None:
@@ -489,50 +728,64 @@ def clear_memory() -> None:
 
 
 def clear() -> int:
-    """Clear both tiers; returns the number of disk entries removed."""
+    """Clear both tiers; returns the number of disk entries removed.
+
+    The count is exact under concurrency: an entry only counts when *this*
+    process unlinked its ``.json`` commit marker, so two workers clearing
+    at once report counts that sum to the number of entries that existed.
+    Lock files and ``*.tmp`` orphans (any age) are removed as well."""
     clear_memory()
     removed = 0
     root = cache_dir()
     if root.is_dir():
         for p in root.iterdir():
-            if _ENTRY_FILE_RE.match(p.name):
-                if p.suffix == ".json":
-                    removed += 1
-                try:
-                    p.unlink()
-                except OSError:
-                    pass
+            entry = bool(_ENTRY_FILE_RE.match(p.name))
+            if not (entry or _LOCK_FILE_RE.match(p.name)
+                    or ".tmp" in p.name):
+                continue
+            try:
+                p.unlink()
+            except OSError:  # concurrent clear/evict took it: not ours
+                continue
+            if entry and p.suffix == ".json":
+                removed += 1
     return removed
 
 
 def stats() -> dict:
-    """Both tiers' state: counters, entry counts, disk footprint."""
+    """Both tiers' state: counters, entry counts, footprint, cap, hit-age."""
     root = cache_dir()
-    n_entries = 0
+    infos = _entry_infos(root)
     n_bytes = 0
-    by_kind: dict[str, int] = {}
+    n_tmp = 0
     if root.is_dir():
         for p in root.iterdir():
+            if ".tmp" in p.name:
+                n_tmp += 1
+                continue
             if not _ENTRY_FILE_RE.match(p.name):
                 continue
             try:
                 n_bytes += p.stat().st_size
             except OSError:
                 continue
-            if p.suffix == ".json":
-                n_entries += 1
-                try:
-                    kind = json.loads(p.read_text()).get("kind", "?")
-                except (OSError, json.JSONDecodeError):
-                    kind = "?"
-                by_kind[kind] = by_kind.get(kind, 0) + 1
+    by_kind: dict[str, int] = {}
+    for i in infos:
+        by_kind[i["kind"]] = by_kind.get(i["kind"], 0) + 1
+    now = time.time()
+    ages = [max(0.0, now - i["last_used"]) for i in infos]
     with _TIER_LOCK:
         return {
             "dir": str(root),
             "disk_enabled": disk_enabled(),
+            "disk_cap_bytes": disk_cap_bytes(),
             "memory_entries": len(_MEMORY),
-            "disk_entries": n_entries,
+            "disk_entries": len(infos),
             "disk_bytes": n_bytes,
             "disk_by_kind": by_kind,
+            "disk_hits_recorded": sum(i["hits"] for i in infos),
+            "hit_age_min_s": min(ages) if ages else None,
+            "hit_age_max_s": max(ages) if ages else None,
+            "tmp_files": n_tmp,
             **_COUNTERS,
         }

@@ -68,6 +68,12 @@ class JitReport:
     dedup_hit: bool = False
     #: seconds spent blocked on the in-flight compile (dedup hits only)
     inflight_wait_s: float = 0.0
+    #: this request was served by another *process's* compile: it waited on
+    #: the cross-process entry lock and then read the finished disk entry
+    #: (compile-farm single-flight, docs/COMPILE_FARM.md)
+    farm_dedup: bool = False
+    #: seconds spent blocked on the cross-process entry lock
+    farm_wait_s: float = 0.0
     #: compiled through the tiered service (py tier first, native later)
     tiered: bool = False
     #: background tier-promotion outcome: empty until the native build

@@ -1,0 +1,199 @@
+"""Cross-process file locks for the compile farm.
+
+The in-process service layer (:mod:`repro.jit.service`) already collapses
+N *threads* racing one ``CacheKey`` into a single translate+compile.  A
+fleet of worker *processes* needs the same guarantee, and the only state
+they share is the disk-cache directory — so the farm's mutual exclusion
+lives there too, as one ``<digest>.lock`` file per cache key.
+
+:class:`FileLock` wraps the two portable strategies:
+
+* **flock** (POSIX) — ``fcntl.flock(LOCK_EX)`` on the lock file.  The
+  kernel releases the lock when the holder dies, so a crashed compiler
+  can never wedge the farm; there is no staleness protocol to get wrong.
+* **O_EXCL spin** (fallback when :mod:`fcntl` is unavailable) — create
+  the lock file with ``O_CREAT | O_EXCL``, write the holder pid, and
+  treat locks older than ``stale_after`` seconds (or whose holder pid is
+  dead) as abandoned.
+
+Both strategies acquire by *polling* with a short sleep rather than
+blocking in the kernel: the caller gets a measurable ``waited_s`` (fed to
+the ``jit.farm_*`` metrics), a timeout (the farm degrades to a duplicate
+compile rather than hanging a worker forever), and identical semantics on
+either backend.
+
+Lock files are tiny, live next to the entries they guard, and are cleaned
+up by ``cache.clear()``; an unlinked-but-held flock keeps protecting its
+holder (the kernel tracks the inode, not the name).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+try:  # POSIX; absent on some platforms -> O_EXCL fallback
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts only
+    _fcntl = None
+
+__all__ = ["FileLock"]
+
+#: how often a waiter re-tries a busy lock (seconds)
+_POLL_S = 0.01
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, PermissionError):
+        return True
+    return True
+
+
+class FileLock:
+    """An exclusive cross-process lock backed by one file.
+
+    Usage::
+
+        lock = FileLock(cache_dir / f"{digest}.lock")
+        if lock.acquire(timeout=600.0):
+            try:
+                ...  # exactly one process runs this per lock path
+            finally:
+                lock.release()
+        # lock.waited_s — seconds spent polling before acquisition
+
+    ``acquire`` returns False on timeout (never raises); ``release`` is
+    idempotent.  Also usable as a context manager (raises ``TimeoutError``
+    there, where a silent miss would skip the guarded block).
+    """
+
+    def __init__(self, path, *, stale_after: float = 600.0):
+        self.path = Path(path)
+        self.stale_after = stale_after
+        self.waited_s = 0.0
+        self.contended = False  # another process held the lock first
+        self._fd: Optional[int] = None
+        self._owned_excl = False  # O_EXCL mode: we created the file
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._fd is not None
+
+    # -- flock strategy ----------------------------------------------------
+
+    def _try_flock(self) -> bool:
+        fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            _fcntl.flock(fd, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        try:  # holder pid is advisory (diagnostics only under flock)
+            os.ftruncate(fd, 0)
+            os.write(fd, str(os.getpid()).encode())
+        except OSError:
+            pass
+        return True
+
+    # -- O_EXCL fallback strategy ------------------------------------------
+
+    def _break_stale_excl(self) -> None:
+        """Remove an abandoned O_EXCL lock (dead holder or too old)."""
+        try:
+            st = self.path.stat()
+            pid = int(self.path.read_text() or "0")
+        except (OSError, ValueError):
+            return
+        dead = pid > 0 and not _pid_alive(pid)
+        expired = (time.time() - st.st_mtime) > self.stale_after
+        if dead or expired:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def _try_excl(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                         0o644)
+        except FileExistsError:
+            self._break_stale_excl()
+            return False
+        except OSError as exc:  # pragma: no cover - exotic filesystems
+            if exc.errno == errno.EEXIST:
+                return False
+            raise
+        os.write(fd, str(os.getpid()).encode())
+        self._fd = fd
+        self._owned_excl = True
+        return True
+
+    # -- public API --------------------------------------------------------
+
+    def _try_once(self) -> bool:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if _fcntl is not None:
+            return self._try_flock()
+        return self._try_excl()
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Poll until the lock is held or ``timeout`` elapses.
+
+        Returns True on acquisition; ``waited_s`` records the time spent
+        polling (0.0 when the first try succeeded — i.e. no other process
+        was compiling this key)."""
+        if self._fd is not None:
+            return True
+        t0 = time.perf_counter()
+        first = True
+        while True:
+            try:
+                if self._try_once():
+                    self.waited_s = (time.perf_counter() - t0
+                                     if self.contended else 0.0)
+                    return True
+            except OSError:
+                # unwritable/odd cache dir: report failure, never raise —
+                # the farm then degrades to an uncoordinated compile
+                self.waited_s = time.perf_counter() - t0
+                return False
+            if first:
+                first = False
+                self.contended = True
+            if timeout is not None and (time.perf_counter() - t0) >= timeout:
+                self.waited_s = time.perf_counter() - t0
+                return False
+            time.sleep(_POLL_S)
+
+    def release(self) -> None:
+        """Drop the lock (idempotent; never raises)."""
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if self._owned_excl:
+            self._owned_excl = False
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        try:
+            os.close(fd)  # closes => flock released
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FileLock":
+        if not self.acquire():
+            raise TimeoutError(f"could not acquire {self.path}")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -17,6 +17,16 @@ the tiered mode that hides the native-build pause entirely:
   late joiner can never slip between "store finished" and "flight gone"
   and compile a second time.
 
+* **Cross-process single-flight (the compile farm)** — the in-process
+  leader additionally acquires the key's on-disk file lock
+  (:func:`repro.jit.cache.entry_lock`) before building, so N *processes*
+  racing one cold key also produce exactly one translate+compile: one
+  process wins the lock and compiles, the rest block on it and then read
+  the finished disk entry.  The lock is held across the store, released
+  after, and a waiter re-probes the disk tier on acquisition before it
+  would compile.  Lock waits surface as ``jit.farm_*`` counters and on
+  ``JitReport.farm_dedup``/``farm_wait_s``.  See docs/COMPILE_FARM.md.
+
 * **Tiered compilation** — ``jit(..., tiered=True)`` answers immediately
   with a py-tier artifact (no external compiler on the critical path) and
   submits the native build to a background worker pool; when it resolves,
@@ -42,9 +52,13 @@ Environment:
 
 * ``REPRO_TIERED=1``      — make tiered mode the default for ``jit*()``;
 * ``REPRO_JIT_WORKERS=N`` — background native-build pool width
-  (default ``min(4, cpu_count)``).
+  (default ``min(4, cpu_count)``);
+* ``REPRO_FARM=0``        — disable cross-process single-flight (the
+  in-process protocol is unaffected);
+* ``REPRO_FARM_LOCK_TIMEOUT_S`` — max seconds a worker blocks on another
+  process's compile before giving up and compiling itself (default 600).
 
-See docs/JIT_SERVICE.md for the full protocol.
+See docs/JIT_SERVICE.md and docs/COMPILE_FARM.md for the full protocol.
 """
 
 from __future__ import annotations
@@ -64,6 +78,8 @@ from repro.obs.trace import span as _span
 
 __all__ = [
     "compile_program",
+    "farm_enabled",
+    "farm_lock_timeout_s",
     "jit_workers",
     "phase_metrics",
     "reset",
@@ -106,6 +122,10 @@ _COUNTERS = {
         "tiered_requests",  # requests that took the tiered path
         "tier_promotions",  # background native builds hot-swapped in
         "tier_failures",    # background native builds that degraded
+        "farm_lock_waits",    # blocked on another process's entry lock
+        "farm_lock_wait_s",   # total seconds spent in those waits
+        "farm_lock_timeouts", # gave up waiting and compiled uncoordinated
+        "farm_dedup_hits",    # served by another process's compile
     )
 }
 
@@ -116,7 +136,7 @@ _QUEUE_DEPTH = _M.gauge("jit.queue_depth")
 _PHASE_HIST = {
     name: _M.histogram(f"jit.phase.{name}")
     for name in ("translate_s", "backend_compile_s", "cached_lookup_s",
-                 "inflight_wait_s")
+                 "inflight_wait_s", "farm_wait_s")
 }
 
 _POOL = None  # lazily-created ThreadPoolExecutor for background builds
@@ -136,6 +156,43 @@ def tiered_default() -> bool:
     from repro.env import env_flag
 
     return env_flag("REPRO_TIERED", default=False)
+
+
+def farm_enabled() -> bool:
+    """Whether cross-process single-flight is active (``REPRO_FARM=0``
+    disables it; the in-process protocol always runs)."""
+    from repro.env import env_flag
+
+    return env_flag("REPRO_FARM", default=True)
+
+
+def farm_lock_timeout_s() -> float:
+    """Max seconds to block on another process's compile
+    (``REPRO_FARM_LOCK_TIMEOUT_S``); past it the worker compiles
+    uncoordinated — availability beats deduplication."""
+    from repro.env import env_float
+
+    return env_float("REPRO_FARM_LOCK_TIMEOUT_S", 600.0)
+
+
+def _acquire_farm_lock(key):
+    """Acquire the key's cross-process entry lock, or None when the farm
+    does not apply (disabled, non-persistable key, disk tier off) or the
+    wait timed out.  Contended acquisitions feed the ``jit.farm_*``
+    counters and the ``farm_wait_s`` phase histogram."""
+    if not (farm_enabled() and key.persistable and code_cache.disk_enabled()):
+        return None
+    lock = code_cache.entry_lock(key.digest)
+    with _span("jit.farm_lock", key=key.digest[:12]):
+        acquired = lock.acquire(timeout=farm_lock_timeout_s())
+    if not acquired:
+        _bump("farm_lock_timeouts")
+        return None
+    if lock.contended:
+        _bump("farm_lock_waits")
+        _bump("farm_lock_wait_s", lock.waited_s)
+        _PHASE_HIST["farm_wait_s"].observe(lock.waited_s)
+    return lock
 
 
 def _bump(name: str, by=1) -> None:
@@ -167,6 +224,7 @@ def stats() -> dict:
         out["max_queue_depth"] = _QUEUE_DEPTH.max
         out["workers"] = jit_workers()
         out["tiered_default"] = tiered_default()
+        out["farm_enabled"] = farm_enabled()
     return out
 
 
@@ -321,14 +379,46 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
             )
         if leader:
             probe_s = time.perf_counter() - p0
+            farm_lock = None
             try:
+                # cross-process single-flight: win the on-disk entry lock
+                # before building.  If another process held it, it was
+                # compiling this very key — so on acquisition re-probe the
+                # disk tier and serve its finished entry instead of
+                # compiling a second time.
+                farm_lock = _acquire_farm_lock(key)
+                if farm_lock is not None:
+                    with _span("cache.probe") as farm_sp:
+                        with _LOCK:
+                            hit = code_cache.lookup(
+                                key, snapshot=snapshot,
+                                recv_shape=recv_shape, arg_shapes=arg_shapes,
+                            )
+                        farm_sp.set(hit=hit is not None, farm=True)
+                    if hit is not None:
+                        _bump("farm_dedup_hits")
+                        with _LOCK:
+                            _FLIGHTS.pop(key.digest, None)
+                        flight.done.set()
+                        report = _hit_report(
+                            hit, opt=opt,
+                            elapsed_s=time.perf_counter() - t_start,
+                            deduped=deduped, wait_s=wait_s, tiered=False)
+                        report.farm_dedup = True
+                        report.farm_wait_s = farm_lock.waited_s
+                        return _engine.JitCode(hit.program, hit.compiled,
+                                               report)
                 code = _build(minfo, snapshot, recv_shape, arg_shapes,
                               backend_obj, opt, snap_s=snap_s, probe_s=probe_s)
                 code.report.dedup_hit = deduped
                 code.report.inflight_wait_s = wait_s
+                if farm_lock is not None:
+                    code.report.farm_wait_s = farm_lock.waited_s
                 with _span("cache.store"), _LOCK:
                     # store-then-retire under one lock: a joiner re-probing
-                    # after this flight vanishes is guaranteed to hit
+                    # after this flight vanishes is guaranteed to hit.
+                    # The farm lock is still held here, so a cross-process
+                    # waiter can only re-probe after the entry is complete.
                     code_cache.store(key, code.program, code.compiled,
                                      code.report)
                     _FLIGHTS.pop(key.digest, None)
@@ -338,6 +428,9 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
                     _FLIGHTS.pop(key.digest, None)
                 flight.done.set()
                 raise
+            finally:
+                if farm_lock is not None:
+                    farm_lock.release()
             flight.done.set()
             return code
         # joiner: wait for the leader, then re-probe (served from memory)

@@ -1,0 +1,411 @@
+"""The cross-process compile farm (file-lock single-flight, LRU disk tier,
+warmup manifests) and the disk-cache race bugfixes that ride with it.
+
+Covers: ≥4 *processes* released simultaneously onto one cold key produce
+exactly one translate+compile (counted both via the per-entry metadata and
+the per-process service counters), the disk tier never exceeds a
+configured byte cap and evicts in least-recently-used order, warmup
+manifests round-trip (write → ``repro cache warm`` → every later jit is a
+disk hit), torn entries (payload missing, metadata incomplete) are
+detected and dropped instead of hydrated, stale ``*.tmp`` orphans are
+swept and counted, and concurrent drops/clears tolerate already-missing
+files while keeping removal counts exact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import jit
+from repro.jit import cache as code_cache
+from repro.jit import service
+from repro.jit.engine import clear_code_cache
+from repro.jit.locks import FileLock
+from repro.jit.warmup import (
+    ManifestEntry, ManifestError, load_manifest, warm, write_manifest,
+)
+
+from tests.conftest import requires_cc
+from tests.guestlib import ScaleAddSolver, Sweeper
+
+SRC_ROOT = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture()
+def farm_dir(tmp_path, monkeypatch):
+    """A fresh cache directory with empty tiers and zeroed counters."""
+    root = tmp_path / "farm-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    monkeypatch.delenv("REPRO_DISK_CACHE_MAX_MB", raising=False)
+    clear_code_cache()
+    service.reset()
+    yield root
+    service.reset()
+    clear_code_cache()
+
+
+# ---------------------------------------------------------------------------
+# cross-process single-flight
+# ---------------------------------------------------------------------------
+
+#: prints READY, blocks on stdin until the parent releases the barrier,
+#: then compiles the shared key and reports its JitReport + counters
+_RACER = r"""
+import json, sys, time
+from repro.jit import service
+from repro.jit.engine import jit
+from repro.library.cgsolve.config import make_solver
+
+solver = make_solver(5, 5, precond="jacobi")  # warm the imports pre-barrier
+print("READY", flush=True)
+sys.stdin.readline()  # barrier: parent writes GO once every racer is ready
+t0 = time.perf_counter()
+code = jit(solver, "solve", 20, backend="py")
+r = code.report
+print(json.dumps({
+    "first_result_s": time.perf_counter() - t0,
+    "cache_hit": r.cache_hit,
+    "cache_tier": r.cache_tier,
+    "farm_dedup": r.farm_dedup,
+    "farm_wait_s": r.farm_wait_s,
+    "value": float(code.invoke().value),
+    "stats": service.stats(),
+}))
+"""
+
+
+def _race_workers(n: int, cache_root: Path, extra_env=None) -> list[dict]:
+    """Spawn ``n`` barrier-synchronized racers on one cold key."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_root)
+    env["PYTHONPATH"] = f"{SRC_ROOT}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    env.update(extra_env or {})
+    procs = [
+        subprocess.Popen([sys.executable, "-c", _RACER],
+                         stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                         stderr=subprocess.PIPE, text=True, env=env)
+        for _ in range(n)
+    ]
+    for p in procs:  # wait for every racer to finish importing
+        assert p.stdout.readline().strip() == "READY"
+    for p in procs:  # release the barrier: all jit() calls race for real
+        p.stdin.write("GO\n")
+        p.stdin.flush()
+    results = []
+    for p in procs:
+        out, err = p.communicate(timeout=300)
+        assert p.returncode == 0, err[-4000:]
+        results.append(json.loads(out.strip().splitlines()[-1]))
+    return results
+
+
+class TestCrossProcessSingleFlight:
+    def test_four_plus_processes_one_compile(self, tmp_path):
+        """5 simultaneous cold processes: exactly one translate+compile."""
+        cache_root = tmp_path / "cache"
+        results = _race_workers(5, cache_root)
+
+        # counted via the per-process service counters ...
+        total_compiles = sum(r["stats"]["compiles"] for r in results)
+        assert total_compiles == 1, results
+        # ... and via the per-entry metadata on disk
+        (jpath,) = cache_root.glob("*.json")
+        meta = json.loads(jpath.read_text())
+        assert meta["compile_count"] == 1
+        # every non-compiling worker was *served* (farm dedup after a lock
+        # wait, or a plain disk hit if the leader finished first)
+        served = [r for r in results if r["cache_hit"]]
+        assert len(served) == 4
+        assert len({r["value"] for r in results}) == 1
+        # the entry records the non-leader hits (atime-style accounting)
+        assert meta["hits"] >= 1
+
+    def test_farm_disabled_still_correct(self, tmp_path):
+        """REPRO_FARM=0: workers may duplicate work but results agree and
+        the disk tier still converges to one complete entry."""
+        cache_root = tmp_path / "cache"
+        results = _race_workers(4, cache_root, {"REPRO_FARM": "0"})
+        assert len({r["value"] for r in results}) == 1
+        assert sum(r["stats"]["compiles"] for r in results) >= 1
+        assert len(list(cache_root.glob("*.json"))) == 1
+
+    def test_waiter_reads_finished_entry_not_recompiles(self, farm_dir):
+        """A process blocked on the entry lock serves the finished entry:
+        simulate the other process with a held FileLock + a store."""
+        app = Sweeper(ScaleAddSolver(0.75), 9)
+        key_probe = jit(app, "run", 3, backend="py")  # populate the entry
+        assert not key_probe.report.cache_hit
+        code_cache.clear_memory()
+        service.reset()
+        # a second request now finds the entry on disk without compiling
+        again = jit(Sweeper(ScaleAddSolver(0.75), 9), "run", 3, backend="py")
+        assert again.report.cache_hit and again.report.cache_tier == "disk"
+        assert service.stats()["compiles"] == 0
+
+
+class TestFileLock:
+    def test_exclusive_and_contended_accounting(self, tmp_path):
+        path = tmp_path / "x.lock"
+        a = FileLock(path)
+        b = FileLock(path)
+        assert a.acquire(timeout=0) and a.held
+        assert not b.acquire(timeout=0.05)
+        assert b.contended and b.waited_s > 0
+        a.release()
+        assert not a.held
+        assert b.acquire(timeout=1.0)
+        b.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = FileLock(tmp_path / "y.lock")
+        assert lock.acquire()
+        lock.release()
+        lock.release()
+        assert lock.acquire(timeout=0)
+        lock.release()
+
+
+# ---------------------------------------------------------------------------
+# LRU disk tier
+# ---------------------------------------------------------------------------
+
+def _compile_distinct(i: int, backend: str = "py"):
+    """One cacheable program per ``i`` (the baked-in factor keys the
+    shape digest, so every i is a distinct CacheKey)."""
+    return jit(Sweeper(ScaleAddSolver(0.125 * (i + 1)), 8), "run", 2,
+               backend=backend)
+
+
+class TestLruDiskTier:
+    def test_cap_is_enforced_on_store(self, farm_dir, monkeypatch):
+        _compile_distinct(0)
+        one_entry = code_cache.stats()["disk_bytes"]
+        assert one_entry > 0
+        # room for two entries (plus slack), not three
+        cap_mb = (2 * one_entry + one_entry // 2) / (1024 * 1024)
+        monkeypatch.setenv("REPRO_DISK_CACHE_MAX_MB", f"{cap_mb:.9f}")
+        for i in range(1, 4):
+            _compile_distinct(i)
+            time.sleep(0.02)  # separate the last_used stamps
+        st = code_cache.stats()
+        assert st["disk_bytes"] <= int(cap_mb * 1024 * 1024)
+        assert st["disk_entries"] == 2
+        assert st["evictions"] >= 1
+        # the survivors are the most recently stored programs
+        code_cache.clear_memory()
+        assert _compile_distinct(3).report.cache_tier == "disk"
+
+    def test_eviction_is_lru_by_hit_time(self, farm_dir):
+        _compile_distinct(0)
+        time.sleep(0.02)
+        _compile_distinct(1)
+        time.sleep(0.02)
+        # touch program 0 (disk hit bumps hits/last_used in the meta)
+        code_cache.clear_memory()
+        assert _compile_distinct(0).report.cache_tier == "disk"
+        one_entry = code_cache.stats()["disk_bytes"] // 2
+        report = code_cache.evict(cap_bytes=one_entry + one_entry // 2)
+        assert report["evicted"] == 1
+        st = code_cache.stats()
+        assert st["disk_entries"] == 1
+        # program 0 (recently used) survived; program 1 was evicted
+        code_cache.clear_memory()
+        service.reset()
+        assert _compile_distinct(0).report.cache_tier == "disk"
+        assert not _compile_distinct(1).report.cache_hit
+
+    def test_eviction_skips_entries_being_written(self, farm_dir):
+        _compile_distinct(0)
+        (jpath,) = Path(farm_dir).glob("*.json")
+        digest = jpath.name[: -len(".json")]
+        writer = code_cache.entry_lock(digest)
+        assert writer.acquire(timeout=0)
+        try:
+            report = code_cache.evict(cap_bytes=1)
+            assert report["evicted"] == 0
+            assert jpath.exists()
+        finally:
+            writer.release()
+        assert code_cache.evict(cap_bytes=1)["evicted"] == 1
+
+    def test_unbounded_by_default(self, farm_dir):
+        for i in range(3):
+            _compile_distinct(i)
+        assert code_cache.stats()["disk_entries"] == 3
+        assert code_cache.evict()["evicted"] == 0
+
+
+# ---------------------------------------------------------------------------
+# torn entries, tmp sweep, concurrent drops (the bugfix sweep)
+# ---------------------------------------------------------------------------
+
+class TestTornEntries:
+    def test_missing_source_payload_dropped_not_hydrated(self, farm_dir):
+        _compile_distinct(0)
+        (spath,) = Path(farm_dir).glob("*.src")
+        spath.unlink()
+        code_cache.clear_memory()
+        again = _compile_distinct(0)
+        assert not again.report.cache_hit
+        assert code_cache.stats()["torn_dropped"] >= 1
+
+    @requires_cc
+    def test_missing_shared_object_dropped_not_hydrated(self, farm_dir):
+        cold = _compile_distinct(0, backend="c")
+        (opath,) = Path(farm_dir).glob("*.so")
+        opath.unlink()
+        code_cache.clear_memory()
+        again = _compile_distinct(0, backend="c")
+        assert not again.report.cache_hit
+        assert again.invoke().value == cold.invoke().value
+
+    def test_incomplete_metadata_dropped(self, farm_dir):
+        _compile_distinct(0)
+        (jpath,) = Path(farm_dir).glob("*.json")
+        meta = json.loads(jpath.read_text())
+        del meta["sha_src"]
+        jpath.write_text(json.dumps(meta))
+        code_cache.clear_memory()
+        assert not _compile_distinct(0).report.cache_hit
+
+    def test_drop_skipped_while_writer_holds_lock(self, farm_dir, monkeypatch):
+        """What looks torn mid-rewrite is left for the writer to finish."""
+        # the recompile below must not block on our own held entry lock
+        monkeypatch.setenv("REPRO_FARM_LOCK_TIMEOUT_S", "0.2")
+        _compile_distinct(0)
+        (spath,) = Path(farm_dir).glob("*.src")
+        (jpath,) = Path(farm_dir).glob("*.json")
+        digest = jpath.name[: -len(".json")]
+        spath.unlink()  # now torn
+        writer = code_cache.entry_lock(digest)
+        assert writer.acquire(timeout=0)
+        try:
+            code_cache.clear_memory()
+            assert not _compile_distinct(0).report.cache_hit
+        finally:
+            writer.release()
+        # the json was NOT deleted out from under the "writer"; the
+        # recompile above rewrote the entry in place (compile_count grew)
+        meta = json.loads(jpath.read_text())
+        assert meta["compile_count"] == 2
+
+
+class TestTmpSweepAndDropRaces:
+    def _fake_digest(self, i: int = 0) -> str:
+        return f"{i:064x}"
+
+    def test_stale_tmp_swept_and_counted(self, farm_dir):
+        root = Path(farm_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        stale = root / f"{self._fake_digest(1)}.src.tmp12345"
+        fresh = root / f"{self._fake_digest(2)}.so.tmp99999"
+        stale.write_bytes(b"dead writer debris")
+        fresh.write_bytes(b"live writer, mid-copy")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        before = code_cache.stats()
+        assert before["tmp_files"] == 2
+        report = code_cache.evict()
+        assert report["tmp_swept"] == 1
+        assert not stale.exists() and fresh.exists()
+        assert code_cache.stats()["tmp_swept"] >= 1
+
+    def test_clear_removes_tmp_and_locks_with_exact_count(self, farm_dir):
+        _compile_distinct(0)
+        _compile_distinct(1)
+        root = Path(farm_dir)
+        (root / f"{self._fake_digest(3)}.json.tmp777").write_bytes(b"x")
+        assert len(list(root.glob("*.lock"))) >= 1
+        assert code_cache.clear() == 2
+        assert list(root.iterdir()) == []
+        assert code_cache.clear() == 0
+
+    def test_drop_entry_tolerates_concurrent_removal(self, farm_dir):
+        _compile_distinct(0)
+        root = Path(farm_dir)
+        (jpath,) = root.glob("*.json")
+        digest = jpath.name[: -len(".json")]
+        assert code_cache._drop_entry(root, digest) is True
+        # second dropper: files already gone — False, no exception
+        assert code_cache._drop_entry(root, digest) is False
+        assert code_cache._drop_entry(root, "f" * 64) is False
+
+
+# ---------------------------------------------------------------------------
+# warmup manifests
+# ---------------------------------------------------------------------------
+
+def _sample_entries():
+    return [
+        ManifestEntry(
+            factory="repro.library.cgsolve.config:make_solver",
+            factory_args=[5, 5], factory_kwargs={"precond": "jacobi"},
+            method="solve", args=[20], backend="py"),
+        ManifestEntry(
+            factory="repro.library.montecarlo.config:make_pricer",
+            factory_args=[200], method="run", args=[200], backend="py"),
+    ]
+
+
+class TestWarmupManifests:
+    def test_round_trip_warm_then_all_hits(self, farm_dir, tmp_path):
+        path = write_manifest(tmp_path / "hot.json", _sample_entries())
+        assert [e.to_dict() for e in load_manifest(path)] == \
+               [e.to_dict() for e in _sample_entries()]
+
+        first = warm(path)
+        assert first["compiled"] == 2 and first["hits"] == 0
+        assert first["errors"] == []
+        assert code_cache.stats()["disk_entries"] == 2
+
+        # a cold process (simulated: empty memory tier) is all disk hits
+        code_cache.clear_memory()
+        service.reset()
+        second = warm(path)
+        assert second["compiled"] == 0 and second["hits"] == 2
+        assert service.stats()["compiles"] == 0
+        assert all(r["tier"] == "disk" for r in second["results"])
+
+    def test_cli_warm_and_stats(self, farm_dir, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = write_manifest(tmp_path / "hot.json", _sample_entries()[:1])
+        assert main(["cache", "warm", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["compiled"] == 1 and report["errors"] == []
+        assert main(["cache", "stats", "--json"]) == 0
+        st = json.loads(capsys.readouterr().out)
+        assert st["disk_entries"] == 1
+        assert main(["cache", "evict", "--cap-mb", "0.000001"]) == 0
+        assert "evicted        : 1 entries" in capsys.readouterr().out
+
+    def test_bad_entries_collected_not_raised(self, farm_dir, tmp_path):
+        entries = [_sample_entries()[0],
+                   ManifestEntry(factory="no.such.module:nope", method="run")]
+        report = warm(write_manifest(tmp_path / "m.json", entries))
+        assert report["compiled"] == 1
+        assert len(report["errors"]) == 1
+
+    def test_malformed_manifest_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ManifestError):
+            load_manifest(bad)
+        bad.write_text(json.dumps({"v": 99, "entries": []}))
+        with pytest.raises(ManifestError):
+            load_manifest(bad)
+        bad.write_text(json.dumps(
+            {"v": 1, "entries": [{"factory": "no-colon", "method": "m"}]}))
+        with pytest.raises(ManifestError):
+            load_manifest(bad)
+        from repro.__main__ import main
+
+        assert main(["cache", "warm", str(bad)]) == 2
+        assert main(["cache", "warm"]) == 2

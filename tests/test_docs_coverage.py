@@ -63,6 +63,7 @@ class TestShippedArtifacts:
             "DESIGN.md",
             "EXPERIMENTS.md",
             "docs/CACHING.md",
+            "docs/COMPILE_FARM.md",
             "docs/FUZZING.md",
             "docs/GUEST_LANGUAGE.md",
             "docs/JIT_SERVICE.md",

@@ -290,6 +290,23 @@ class TestMetrics:
         assert d["buckets"] == {"0.01": 1, "0.1": 1, "1.0": 1, "+inf": 1}
         assert h.mean == pytest.approx(5.555 / 4)
 
+    def test_histogram_percentile_interpolates_buckets(self):
+        reg = metrics.MetricsRegistry()
+        h = reg.histogram("t.p", buckets=(1.0, 10.0, 100.0))
+        assert h.percentile(50) is None  # empty
+        for v in (0.5, 2.0, 3.0, 4.0, 50.0):
+            h.observe(v)
+        assert h.percentile(0) == 0.5      # clamps to observed min
+        assert h.percentile(100) == 50.0   # ... and max
+        # p50: rank 2.5 of 5 lands in the (1.0, 10.0] bucket (3 samples)
+        p50 = h.percentile(50)
+        assert 1.0 <= p50 <= 10.0
+        # p99 lands in the (10.0, 100.0] bucket, clamped to the max
+        assert 10.0 < h.percentile(99) <= 50.0
+        # monotone in q
+        qs = [h.percentile(q) for q in (10, 25, 50, 75, 90, 99)]
+        assert qs == sorted(qs)
+
     def test_registry_get_or_create_and_type_conflicts(self):
         reg = metrics.MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")
@@ -336,9 +353,11 @@ class TestServiceIntegration:
             "inflight_wait_s", "tiered_requests", "tier_promotions",
             "tier_failures", "queue_depth", "max_queue_depth",
             "workers", "tiered_default",
+            "farm_lock_waits", "farm_lock_wait_s", "farm_lock_timeouts",
+            "farm_dedup_hits", "farm_enabled",
         }
         assert all(st[k] == 0 for k in st
-                   if k not in ("workers", "tiered_default"))
+                   if k not in ("workers", "tiered_default", "farm_enabled"))
 
     def test_compile_feeds_counters_and_phase_histograms(self):
         service.reset()
