@@ -51,15 +51,41 @@ def _timed_run(passes: str) -> dict:
     return json.loads(out.stdout.strip().splitlines()[-1])
 
 
+def _merge_json(path: Path, update: dict) -> None:
+    """Read-modify-write a results JSON (the two tests here each own a
+    section of ``BENCH_opt.json`` and may run in either order)."""
+    import json
+
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.update(update)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 def test_opt_passes_report():
     """Persist the deterministic before/after statement counts and check
     the pipeline actually shrinks the emitted C."""
+    from repro.obs.metrics import registry
     from repro.opt.report import collect, render
 
+    reg = registry()
+    reg.reset("bench.opt")
     data = collect()
+    for name, d in data.items():
+        reg.gauge(f"bench.opt.{name}.ir_stmts_before").set(
+            d["before"]["ir_stmts"])
+        reg.gauge(f"bench.opt.{name}.ir_stmts_after").set(
+            d["after"]["ir_stmts"])
+        reg.gauge(f"bench.opt.{name}.c_stmts_before").set(
+            d["before"]["c_stmts"])
+        reg.gauge(f"bench.opt.{name}.c_stmts_after").set(
+            d["after"]["c_stmts"])
+        reg.gauge(f"bench.opt.{name}.parallel_loops").set(
+            d["parallel"]["loops_parallel"])
     RESULTS.mkdir(exist_ok=True)
     text = render(data)
     (RESULTS / "opt_report.txt").write_text(text)
+    _merge_json(RESULTS / "BENCH_opt.json",
+                {"programs": data, "metrics": reg.snapshot("bench.opt")})
     print()
     print(text)
     for name, d in data.items():
@@ -73,5 +99,11 @@ def test_opt_passes_not_slower(benchmark):
     on = benchmark.pedantic(
         lambda: _timed_run("1"), rounds=1, iterations=1,
     )
+    RESULTS.mkdir(exist_ok=True)
+    _merge_json(RESULTS / "BENCH_opt.json", {"timing": {
+        "passes_off_best_s": off["best_s"],
+        "passes_on_best_s": on["best_s"],
+        "speedup": off["best_s"] / max(on["best_s"], 1e-9),
+    }})
     assert on["value"] == off["value"]  # bit-identical result
     assert on["best_s"] <= off["best_s"] * 1.25

@@ -1,0 +1,141 @@
+"""OpenMP strong scaling of the C backend's parallel loops.
+
+Runs the matmul and diffusion-stencil guests compiled under
+``REPRO_OMP=1`` at 1 vs 4 threads (fresh subprocess per leg —
+``OMP_NUM_THREADS`` is an OpenMP-runtime init-time knob) and persists
+machine-readable ``results/BENCH_parallel.json`` through the obs metrics
+registry.
+
+The >= 2x speedup assertion only fires on hosts that can physically show
+it: >= 4 CPUs and a compiler that accepts ``-fopenmp``.  Everywhere else
+the bench still runs both legs, checks bit-exactness, and records the
+numbers (speedup ~1x on a 1-core container is expected, not a failure).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).parent / "results"
+
+#: workload name -> subprocess body printing {"best_s": ..., "sig": ...};
+#: ``sig`` is a bit-level signature of the non-reduction outputs, so the
+#: legs can be compared for exactness across thread counts
+_BODIES = {
+    "matmul": r"""
+import hashlib, json, time
+from repro import jit
+from repro.library.matmul import (
+    CPULoop, OptimizedCalculator, SimpleOuterBody, make_matrix,
+)
+N = 192
+ma, mb, mc = make_matrix(N), make_matrix(N), make_matrix(N)
+for idx in range(N * N):
+    ma.data[idx] = (idx % 101) / 101.0
+    mb.data[idx] = (idx % 97) / 97.0
+code = jit(CPULoop(SimpleOuterBody(), OptimizedCalculator()), "start",
+           ma, mb, mc, backend="c", use_cache=False)
+res = code.invoke()
+best = None
+for _ in range(3):
+    t0 = time.perf_counter()
+    res = code.invoke()
+    dt = time.perf_counter() - t0
+    best = dt if best is None else min(best, dt)
+sig = hashlib.sha256(res.output("c").tobytes()).hexdigest()
+print(json.dumps({"best_s": best, "sig": sig}))
+""",
+    "stencil": r"""
+import hashlib, json, time
+from repro import jit
+from repro.library.stencil import (
+    EmptyContext, SineGen, StencilCPU3D, ThreeDIndexer,
+)
+from repro.library.stencil.config import make_dif3d_solver, make_grid3d
+app = StencilCPU3D(
+    make_dif3d_solver(), make_grid3d(64, 64, 34), ThreeDIndexer(64, 64, 34),
+    SineGen(64, 64, 32, 1), EmptyContext(),
+)
+code = jit(app, "run", 8, backend="c", use_cache=False)
+res = code.invoke()
+best = None
+for _ in range(3):
+    t0 = time.perf_counter()
+    res = code.invoke()
+    dt = time.perf_counter() - t0
+    best = dt if best is None else min(best, dt)
+sig = hashlib.sha256(res.output("grid").tobytes()).hexdigest()
+print(json.dumps({"best_s": best, "sig": sig}))
+""",
+}
+
+
+def _leg(body: str, omp: str, threads: int) -> dict:
+    env = dict(os.environ, REPRO_OMP=omp, OMP_NUM_THREADS=str(threads),
+               REPRO_DISK_CACHE="0")
+    env["PYTHONPATH"] = str(Path(__file__).parent.parent / "src")
+    env.pop("REPRO_OMP_THREADS", None)
+    out = subprocess.run([sys.executable, "-c", body], env=env,
+                         capture_output=True, text=True, check=True)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _can_scale() -> bool:
+    from repro.backends.cbackend.build import openmp_flag
+
+    return (os.cpu_count() or 1) >= 4 and openmp_flag() is not None
+
+
+def test_parallel_strong_scaling(benchmark):
+    from repro.obs.metrics import registry
+
+    def run_all():
+        report = {}
+        for name, body in _BODIES.items():
+            seq = _leg(body, "0", 1)
+            t1 = _leg(body, "1", 1)
+            t4 = _leg(body, "1", 4)
+            report[name] = {"seq": seq, "t1": t1, "t4": t4}
+        return report
+
+    report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reg = registry()
+    reg.reset("bench.parallel")
+    for name, legs in report.items():
+        # parallel loops with no float reductions: bit-exact at any count
+        assert legs["t1"]["sig"] == legs["seq"]["sig"], name
+        assert legs["t4"]["sig"] == legs["seq"]["sig"], name
+        speedup = legs["t1"]["best_s"] / max(legs["t4"]["best_s"], 1e-9)
+        legs["speedup_4_over_1"] = speedup
+        reg.gauge(f"bench.parallel.{name}.seq_s").set(legs["seq"]["best_s"])
+        reg.gauge(f"bench.parallel.{name}.t1_s").set(legs["t1"]["best_s"])
+        reg.gauge(f"bench.parallel.{name}.t4_s").set(legs["t4"]["best_s"])
+        reg.gauge(f"bench.parallel.{name}.speedup").set(speedup)
+    reg.gauge("bench.parallel.cpus").set(os.cpu_count() or 1)
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_parallel.json"
+    out.write_text(json.dumps({
+        "workloads": report,
+        "cpus": os.cpu_count() or 1,
+        "scaling_asserted": _can_scale(),
+        "metrics": reg.snapshot("bench.parallel"),
+    }, indent=2, sort_keys=True) + "\n")
+    print()
+    for name, legs in report.items():
+        print(f"  {name:8s} seq {legs['seq']['best_s'] * 1e3:8.2f} ms"
+              f"   1t {legs['t1']['best_s'] * 1e3:8.2f} ms"
+              f"   4t {legs['t4']['best_s'] * 1e3:8.2f} ms"
+              f"   (speedup {legs['speedup_4_over_1']:.2f}x)")
+    print(f"  [saved to {out}]")
+    if not _can_scale():
+        pytest.skip(f"host has {os.cpu_count()} CPU(s) / no -fopenmp: "
+                    "scaling recorded but not asserted")
+    for name, legs in report.items():
+        assert legs["speedup_4_over_1"] >= 2.0, (
+            f"{name}: only {legs['speedup_4_over_1']:.2f}x at 4 threads")

@@ -34,6 +34,11 @@ def warm_cache_series() -> Series:
 
 
 def test_warm_cache(benchmark):
+    import json
+    from pathlib import Path
+
+    from repro.obs.metrics import registry
+
     s = benchmark.pedantic(warm_cache_series, rounds=1, iterations=1)
     path = save_series(s)
     print()
@@ -41,6 +46,18 @@ def test_warm_cache(benchmark):
     print(f"[saved to {path}]")
     cold = dict(zip(s.headers, s.rows[0]))
     warm = dict(zip(s.headers, s.rows[1]))
+    reg = registry()
+    reg.reset("bench.warm_cache")
+    reg.gauge("bench.warm_cache.cold_total_s").set(cold["total_s"])
+    reg.gauge("bench.warm_cache.warm_total_s").set(warm["total_s"])
+    reg.gauge("bench.warm_cache.speedup").set(
+        cold["total_s"] / max(warm["total_s"], 1e-9))
+    out = Path(__file__).parent / "results" / "BENCH_warm_cache.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps({
+        "cold": cold, "warm": warm,
+        "metrics": reg.snapshot("bench.warm_cache"),
+    }, indent=2, sort_keys=True) + "\n")
     # the warm process never spawns the external compiler
     assert warm["cache_tier"] == "disk"
     assert warm["cc_s"] == 0.0

@@ -1,0 +1,114 @@
+"""Perf-regression gate over the guest-workload kernel times.
+
+Compares a freshly generated ``BENCH_guests.json`` against the committed
+baseline and fails when any workload's C-backend invoke time regressed by
+more than the threshold (default 25%).  Interpreter and py-backend times
+are reported but never gated — they are too noisy to block a merge on.
+
+Shared CI runners have wildly varying load, so the gate can be demoted to
+warn-only with ``REPRO_BENCH_GATE=warn`` (the CI workflow sets this; run
+with the gate enforcing locally / on dedicated hardware).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        [--baseline results/BENCH_guests.json] [--fresh FRESH.json] \
+        [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> list[dict]:
+    """Per-workload comparison rows; ``regressed`` is set when the fresh
+    C invoke time exceeds baseline by more than ``threshold``."""
+    rows = []
+    base_wl = baseline.get("workloads", {})
+    fresh_wl = fresh.get("workloads", {})
+    for name in sorted(base_wl):
+        if name not in fresh_wl:
+            rows.append({"workload": name, "missing": True,
+                         "regressed": True})
+            continue
+        b = base_wl[name].get("c", {}).get("invoke_s")
+        f = fresh_wl[name].get("c", {}).get("invoke_s")
+        if not b or not f:
+            continue
+        ratio = f / b
+        rows.append({
+            "workload": name,
+            "baseline_s": b,
+            "fresh_s": f,
+            "ratio": ratio,
+            "regressed": ratio > 1.0 + threshold,
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=str(RESULTS / "BENCH_guests.json"))
+    ap.add_argument("--fresh", default=None,
+                    help="fresh results (default: regenerate via pytest)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed slowdown fraction (default 0.25 = 25%%)")
+    args = ap.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"[bench-gate] no baseline at {baseline_path}; nothing to "
+              "compare", file=sys.stderr)
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+
+    if args.fresh:
+        fresh = json.loads(Path(args.fresh).read_text())
+    else:
+        import subprocess
+
+        # regenerate in-place: bench_guests overwrites BENCH_guests.json,
+        # so snapshot the baseline first
+        baseline = json.loads(baseline_path.read_text())
+        rc = subprocess.run(
+            [sys.executable, "-m", "pytest",
+             str(Path(__file__).parent / "bench_guests.py"), "-x", "-q"],
+            cwd=Path(__file__).parent.parent,
+        ).returncode
+        if rc != 0:
+            print("[bench-gate] bench_guests failed to run", file=sys.stderr)
+            return rc
+        fresh = json.loads(baseline_path.read_text())
+
+    rows = compare(baseline, fresh, args.threshold)
+    bad = [r for r in rows if r.get("regressed")]
+    for r in rows:
+        if r.get("missing"):
+            print(f"  {r['workload']:12s} MISSING from fresh results")
+            continue
+        flag = "  REGRESSED" if r["regressed"] else ""
+        print(f"  {r['workload']:12s} baseline {r['baseline_s'] * 1e3:8.3f} ms"
+              f"   fresh {r['fresh_s'] * 1e3:8.3f} ms"
+              f"   ({r['ratio']:.2f}x){flag}")
+    if not bad:
+        print(f"[bench-gate] OK: no workload slower than "
+              f"{1 + args.threshold:.2f}x baseline")
+        return 0
+    msg = (f"[bench-gate] {len(bad)} workload(s) regressed beyond "
+           f"{1 + args.threshold:.2f}x")
+    if os.environ.get("REPRO_BENCH_GATE", "").strip().lower() == "warn":
+        print(msg + " (REPRO_BENCH_GATE=warn: not failing)")
+        return 0
+    print(msg, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

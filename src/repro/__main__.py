@@ -179,6 +179,9 @@ def cmd_cache(args) -> int:
           + (f"  ({', '.join(f'{k}: {v}' for k, v in sorted(st['disk_by_kind'].items()))})"
              if st['disk_by_kind'] else ""))
     print(f"disk footprint : {st['disk_bytes'] / 1024:.1f} KiB")
+    if st.get("evictions") or st.get("bytes_evicted"):
+        print(f"evictions      : {st['evictions']} entries "
+              f"({st['bytes_evicted'] / 1024:.1f} KiB reclaimed)")
     if st["hit_age_min_s"] is not None:
         print(f"hit age        : {st['hit_age_min_s']:.0f} s (hottest) .. "
               f"{st['hit_age_max_s']:.0f} s (coldest), "

@@ -7,8 +7,12 @@ from repro.backends.cbackend.build import build_shared_object
 from repro.backends.cbackend.bridge import CCompiled
 from repro.backends.cbackend.emit import CProgramEmitter
 from repro.jit.program import Program
+from repro.obs import metrics as _metrics
+from repro.opt import parallel as _par
 
 __all__ = ["CBackend"]
+
+_M = _metrics.registry()
 
 
 class CBackend(Backend):
@@ -29,12 +33,44 @@ class CBackend(Backend):
         self.bounds_checks = bounds_checks
 
     def compile(self, program: Program, opt: OptLevel) -> CompiledProgram:
+        # loop parallelization only at FULL (the comparator modes measure
+        # abstraction cost) and never under bounds checks (the shared
+        # wj_oob_count counter is not thread-safe)
+        plan = None
+        if (
+            _par.omp_enabled()
+            and opt is OptLevel.FULL
+            and not self.bounds_checks
+        ):
+            plan = _par.analyze_program(program)
+            _M.counter("parallel.loops_seen").inc(
+                plan.stats["loops_seen"])
+            _M.counter("parallel.loops_parallelized").inc(
+                plan.stats["loops_parallel"])
+            _M.counter("parallel.reductions").inc(
+                plan.stats["reductions"])
         result = CProgramEmitter(
-            program, opt, bounds_checks=self.bounds_checks
+            program, opt, bounds_checks=self.bounds_checks,
+            parallel_plan=plan,
         ).emit()
-        so_path, stats = build_shared_object(result.source, opt,
-                                             units=result.units)
+        so_path, stats = build_shared_object(
+            result.source, opt, units=result.units,
+            openmp=result.uses_omp
+            or (result.uses_dgemm and _par.omp_enabled()),
+            blas=result.uses_dgemm and _par.blas_enabled(),
+        )
         compiled = CCompiled(so_path, result, result.source,
                              bounds_checks=self.bounds_checks)
         compiled.build_stats = stats.as_dict()
+        if plan is not None:
+            # ride build_stats so the parallel decisions persist through
+            # the disk cache meta and surface in JitReport.opt_stats
+            compiled.build_stats["parallel"] = {
+                "loops_seen": plan.stats["loops_seen"],
+                "loops_parallel": plan.stats["loops_parallel"],
+                "loops_guarded": plan.stats["loops_guarded"],
+                "reductions": plan.stats["reductions"],
+                "threads_requested": plan.threads,
+                "functions": plan.stats["functions"],
+            }
         return compiled

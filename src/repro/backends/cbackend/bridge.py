@@ -191,6 +191,20 @@ class CCompiled(CompiledProgram):
         self._lib.wj_snap_size.restype = ct.c_int64
         self._lib.wj_snap_size.argtypes = []
         self._snap_size = int(self._lib.wj_snap_size())
+        # wj_omp_max_threads only exists in programs with parallel loops
+        try:
+            omp_fn = self._lib.wj_omp_max_threads
+        except AttributeError:
+            self.omp_max_threads = 0
+        else:
+            omp_fn.restype = ct.c_int64
+            omp_fn.argtypes = []
+            self.omp_max_threads = int(omp_fn())
+            from repro.obs import metrics as _metrics
+
+            _metrics.registry().gauge("parallel.threads_available").set(
+                self.omp_max_threads
+            )
         self._lib.wj_entry.restype = None
         self._lib.wj_entry.argtypes = [
             ct.POINTER(WjEnvStruct),

@@ -34,10 +34,12 @@ from repro.obs.trace import span as _span
 __all__ = [
     "BuildStats",
     "FLAG_SETS",
+    "blas_flags",
     "build_shared_object",
     "cc_version",
     "compile_shared_object",
     "compiler_available",
+    "openmp_flag",
 ]
 
 
@@ -125,9 +127,72 @@ def _run_cc(cmd: list[str]) -> None:
         )
 
 
+def _probe(cc: str, source: str, extra: list[str]) -> bool:
+    """Whether `source` compiles+links as a shared object with `extra`."""
+    with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as td:
+        c_path = os.path.join(td, "probe.c")
+        with open(c_path, "w") as fh:
+            fh.write(source)
+        proc = subprocess.run(
+            [cc, c_path, "-o", os.path.join(td, "probe.so"),
+             "-std=c99", "-shared", "-fPIC", "-w", *extra],
+            capture_output=True, text=True,
+        )
+        return proc.returncode == 0
+
+
+_OMP_PROBE: dict[str, str | None] = {}
+_BLAS_PROBE: dict[str, tuple[str, ...] | None] = {}
+
+_OMP_PROBE_SRC = (
+    "#include <omp.h>\n"
+    "int wj_probe(void) { return omp_get_max_threads(); }\n"
+)
+_BLAS_PROBE_SRC = (
+    "void cblas_dgemm(int, int, int, int, int, int, double, const double*,"
+    " int, const double*, int, double, double*, int);\n"
+    "double a[1], b[1], c[1];\n"
+    "void wj_probe(void) {"
+    " cblas_dgemm(101, 111, 111, 1, 1, 1, 1.0, a, 1, b, 1, 0.0, c, 1); }\n"
+)
+#: candidate BLAS link lines, most common first
+_BLAS_CANDIDATES = (("-lopenblas",), ("-lcblas",), ("-lcblas", "-lblas"),
+                    ("-lblas",))
+
+
+def openmp_flag(cc: str | None = None) -> str | None:
+    """``-fopenmp`` when the toolchain supports it, else None (the emitted
+    pragmas are then ignored and execution degrades to sequential).
+    Memoized per compiler."""
+    cc = cc or _find_cc()
+    if cc is None:
+        return None
+    if cc not in _OMP_PROBE:
+        _OMP_PROBE[cc] = (
+            "-fopenmp" if _probe(cc, _OMP_PROBE_SRC, ["-fopenmp"]) else None
+        )
+    return _OMP_PROBE[cc]
+
+
+def blas_flags(cc: str | None = None) -> tuple[str, ...] | None:
+    """Link flags for a system CBLAS providing cblas_dgemm, or None when no
+    BLAS links.  Memoized per compiler."""
+    cc = cc or _find_cc()
+    if cc is None:
+        return None
+    if cc not in _BLAS_PROBE:
+        found = None
+        for cand in _BLAS_CANDIDATES:
+            if _probe(cc, _BLAS_PROBE_SRC, list(cand)):
+                found = cand
+                break
+        _BLAS_PROBE[cc] = found
+    return _BLAS_PROBE[cc]
+
+
 def build_shared_object(
     source: str, opt: OptLevel, *, units: "list[str] | None" = None,
-    bounds_checks: bool = False,
+    bounds_checks: bool = False, openmp: bool = False, blas: bool = False,
 ) -> tuple[Path, BuildStats]:
     """Compile C source to a cached .so; returns ``(path, BuildStats)``.
 
@@ -144,7 +209,8 @@ def build_shared_object(
     """
     with _span("cc.build") as sp:
         path, stats = _build_impl(source, opt, units=units,
-                                  bounds_checks=bounds_checks)
+                                  bounds_checks=bounds_checks,
+                                  openmp=openmp, blas=blas)
         sp.set(mode=stats.mode, units=stats.units, jobs=stats.jobs,
                cached=stats.cached)
         return path, stats
@@ -152,7 +218,7 @@ def build_shared_object(
 
 def _build_impl(
     source: str, opt: OptLevel, *, units: "list[str] | None",
-    bounds_checks: bool,
+    bounds_checks: bool, openmp: bool = False, blas: bool = False,
 ) -> tuple[Path, BuildStats]:
     cc = _find_cc()
     if cc is None:
@@ -164,6 +230,17 @@ def _build_impl(
     flags = list(FLAG_SETS[opt]) + _COMMON
     if bounds_checks:
         flags.append("-DWJ_BOUNDS=1")
+    if openmp:
+        omp = openmp_flag(cc)
+        if omp:
+            flags.append(omp)
+    if blas:
+        libs = blas_flags(cc)
+        if libs:
+            # the define selects the cblas path in the prelude; the link
+            # flags resolve it.  Both are part of `flags`, hence the digest.
+            flags.append("-DWJ_HAVE_CBLAS")
+            flags.extend(libs)
     digest = hashlib.sha256(
         (source + "\x00" + " ".join(flags) + "\x00" + cc).encode()
     ).hexdigest()[:24]
@@ -183,7 +260,12 @@ def _build_impl(
     tmp_out = cache / f"wj_{digest}.so.tmp{os.getpid()}"
     if use_parallel:
         # per-unit flags: the opt set minus the link-only options, plus -c
-        unit_flags = [f for f in flags if f not in ("-shared", "-lm")]
+        unit_flags = [f for f in flags
+                      if f != "-shared" and not f.startswith("-l")]
+        link_extra = [f for f in flags
+                      if f.startswith("-l") and f != "-lm"]
+        if openmp and openmp_flag(cc):
+            link_extra.append(openmp_flag(cc))
         obj_paths: list[Path] = []
         for i, unit in enumerate(units):
             c_path = cache / f"wj_{digest}_u{i}.c"
@@ -206,7 +288,7 @@ def _build_impl(
             with _span("cc.link", units=len(units)):
                 _run_cc([cc, "-shared", "-fPIC",
                          *[str(p) for p in obj_paths], "-o", str(tmp_out),
-                         "-lm"])
+                         "-lm", *link_extra])
             link_s = time.perf_counter() - t_link
         finally:
             for p in obj_paths:

@@ -31,7 +31,7 @@ from repro.backends.base import (
     is_pure,
     passed_params,
 )
-from repro.backends.cbackend.prelude import PRELUDE
+from repro.backends.cbackend.prelude import DGEMM_BLOCK, OMP_BLOCK, PRELUDE
 from repro.errors import BackendError
 from repro.frontend import ir
 from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape, Shape
@@ -71,7 +71,8 @@ class EmitResult:
 
     def __init__(self, source: str, ivals: list[int], dvals: list[float],
                  entry_ret: _t.Type, n_slots: int,
-                 units: "list[str] | None" = None):
+                 units: "list[str] | None" = None, uses_omp: bool = False,
+                 uses_dgemm: bool = False):
         self.source = source
         self.ivals = ivals
         self.dvals = dvals
@@ -81,6 +82,10 @@ class EmitResult:
         #: each, entry/bind unit last) for parallel builds; None when the
         #: program is too small to split
         self.units = units
+        #: the source contains `#pragma omp` loops / a wj_dgemm call site —
+        #: the build adds -fopenmp / BLAS flags accordingly
+        self.uses_omp = uses_omp
+        self.uses_dgemm = uses_dgemm
 
 
 class _Writer:
@@ -104,10 +109,15 @@ class CProgramEmitter:
     """Emits one translated program as a self-contained C99 translation
     unit at the configured optimization level."""
 
-    def __init__(self, program: Program, opt: OptLevel, *, bounds_checks: bool = False):
+    def __init__(self, program: Program, opt: OptLevel, *, bounds_checks: bool = False,
+                 parallel_plan=None):
         self.program = program
         self.opt = opt
         self.bounds_checks = bounds_checks
+        #: repro.opt.parallel.ParallelPlan or None — per-ForRange OpenMP
+        #: decisions; None leaves the sequential emitter byte-identical
+        self.parallel_plan = parallel_plan
+        self._uses_dgemm = False
         # dynamic-object struct interning
         self.struct_defs: list[str] = []
         self._struct_by_key: dict = {}
@@ -322,6 +332,10 @@ class CProgramEmitter:
         head = _Writer()
         head.line("/* generated by repro.backends.cbackend — do not edit */")
         head.line(PRELUDE)
+        if self.parallel_plan is not None and self.parallel_plan.n_parallel > 0:
+            head.line(OMP_BLOCK)
+        if self._uses_dgemm:
+            head.line(DGEMM_BLOCK)
         for inc in sorted({i for ff in self._ffi.values() for i in ff.includes}):
             head.line(f"#include <{inc}>")
         for ff in self._ffi.values():
@@ -381,6 +395,11 @@ class CProgramEmitter:
             entry.func_ir.ret_type,
             len(self.program.snapshot.array_slots),
             units=units,
+            uses_omp=(
+                self.parallel_plan is not None
+                and self.parallel_plan.n_parallel > 0
+            ),
+            uses_dgemm=self._uses_dgemm,
         )
 
     def _emit_entry(self, out: _Writer, entry) -> None:
@@ -748,6 +767,12 @@ class _CFunc:
         if key == "wj.output":
             label = x.const_args[0]
             return f"wj_output_{self._suf(x.args[0])}(env, {c_str(label)}, {a[0]})"
+        if key == "wj.dgemm":
+            self.p._uses_dgemm = True
+            return (
+                f"wj_dgemm({a[0]}, {a[1]}, {a[2]}, (int64_t)({a[3]}), "
+                f"(int64_t)({a[4]}), (int64_t)({a[5]}))"
+            )
         if key == "wj.lcg64":
             return f"wj_lcg64((int64_t)({a[0]}))"
         if key == "wj.u01":
@@ -849,6 +874,12 @@ class _CFunc:
         w.depth -= 1
 
     def emit_for(self, w: _Writer, s: ir.ForRange) -> None:
+        plan = self.p.parallel_plan
+        if plan is not None:
+            d = plan.decision_for(s)
+            if d is not None and d.parallel:
+                self._emit_parallel_for(w, s, d)
+                return
         self._tmp += 1
         n = self._tmp
         var = f"v_{s.var}"
@@ -873,6 +904,55 @@ class _CFunc:
         self.block(w, s.body)
         w.line("}")
         if s.step is not None:
+            w.line("}")
+        if closing:
+            w.line("}")
+
+    def _guard_lvalue(self, handle) -> str:
+        if handle[0] == "var":
+            return f"v_{handle[1]}"
+        _, path, fname, shape = handle
+        return f"snap->{self.p.arr_member(path, fname, shape)}"
+
+    def _emit_parallel_for(self, w: _Writer, s: ir.ForRange, d) -> None:
+        """A loop the independence analysis proved parallel: emit it under
+        `#pragma omp parallel for`; when runtime alias guards are needed,
+        version it — parallel when every guarded base-pointer pair differs,
+        the plain sequential loop otherwise."""
+        self._tmp += 1
+        n = self._tmp
+        var = f"v_{s.var}"
+        start = self.e(s.start)
+        stop = self.e(s.stop)
+        closing = False
+        if not _is_literal(stop):
+            w.line(f"{{ int64_t __b{n} = {stop};")
+            stop = f"__b{n}"
+            closing = True
+        header = f"for ({var} = {start}; {var} < {stop}; {var}++) {{"
+        pragma = "#pragma omp parallel for schedule(static)"
+        if d.private:
+            pragma += " private(" + ", ".join(f"v_{p}" for p in d.private) + ")"
+        for op, name, _is_float in d.reductions:
+            pragma += f" reduction({op}:v_{name})"
+        threads = self.p.parallel_plan.threads
+        if threads:
+            pragma += f" num_threads({threads})"
+        if d.guards:
+            cond = " && ".join(
+                f"(({self._guard_lvalue(a)}).p != ({self._guard_lvalue(b)}).p)"
+                for a, b in d.guards
+            )
+            w.line(f"if ({cond}) {{")
+        w.line(pragma)
+        w.line(header)
+        self.block(w, s.body)
+        w.line("}")
+        if d.guards:
+            w.line("} else {")
+            w.line(header)
+            self.block(w, s.body)
+            w.line("}")
             w.line("}")
         if closing:
             w.line("}")

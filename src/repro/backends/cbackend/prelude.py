@@ -208,3 +208,62 @@ WJ_DEF_ARR(F64, double, WJ_F64)
 WJ_DEF_ARR(I32, int32_t, WJ_I32)
 WJ_DEF_ARR(I64, int64_t, WJ_I64)
 """
+
+#: appended to the shared header only when the program contains at least
+#: one `#pragma omp parallel for` loop.  Compiles unchanged without
+#: -fopenmp (the pragmas are ignored and wj_omp_max_threads reports 1),
+#: which is exactly the sequential-degradation contract of REPRO_OMP.
+OMP_BLOCK = r"""
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+#ifdef WJ_TU_SECONDARY
+int64_t wj_omp_max_threads(void);
+#else
+int64_t wj_omp_max_threads(void) {
+#ifdef _OPENMP
+    return (int64_t)omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+#endif
+"""
+
+#: appended to the shared header only when the program calls wj.dgemm.
+#: With a BLAS detected at build time (-DWJ_HAVE_CBLAS plus the link
+#: flag, see build.py) the call drops into cblas_dgemm; otherwise the
+#: fallback loop nest runs — its accumulation order matches the
+#: intrinsic's Python reference implementation bit for bit, so only the
+#: cblas path trades bit-exactness for vendor-kernel speed.
+DGEMM_BLOCK = r"""
+#ifdef WJ_HAVE_CBLAS
+void cblas_dgemm(int Order, int TransA, int TransB, int M, int N, int K,
+                 double alpha, const double* A, int lda, const double* B,
+                 int ldb, double beta, double* C, int ldc);
+#endif
+static inline void wj_dgemm(WjArrF64 a, WjArrF64 b, WjArrF64 c,
+                            int64_t m, int64_t n, int64_t k) {
+#ifdef WJ_HAVE_CBLAS
+    /* 101 = CblasRowMajor, 111 = CblasNoTrans */
+    cblas_dgemm(101, 111, 111, (int)m, (int)n, (int)k, 1.0, a.p, (int)k,
+                b.p, (int)n, 1.0, c.p, (int)n);
+#else
+    int64_t i;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i = 0; i < m; i++) {
+        int64_t j;
+        for (j = 0; j < n; j++) {
+            double acc = c.p[i * n + j];
+            int64_t t;
+            for (t = 0; t < k; t++) {
+                acc += a.p[i * k + t] * b.p[t * n + j];
+            }
+            c.p[i * n + j] = acc;
+        }
+    }
+#endif
+}
+"""

@@ -32,7 +32,7 @@ from repro.frontend import ir
 from repro.frontend.shapes import ArrayShape, ObjShape, PrimShape, Shape
 from repro.jit.program import Program
 from repro.lang import types as _t
-from repro.lang.intrinsics import _lcg64_py, _u01_py, intrinsic_registry
+from repro.lang.intrinsics import _dgemm_py, _lcg64_py, _u01_py, intrinsic_registry
 
 __all__ = ["PyBackend"]
 
@@ -263,6 +263,8 @@ class _FuncEmitter:
             return f"__wj_lcg64({a[0]})"
         if key == "wj.u01":
             return f"__wj_u01({a[0]})"
+        if key == "wj.dgemm":
+            return f"__wj_dgemm({', '.join(a)})"
         if key.startswith("math."):
             return f"__math.{key.split('.')[1]}({', '.join(a)})"
         if key == "builtin.abs":
@@ -487,6 +489,7 @@ class _PyCompiled(CompiledProgram):
             "__noop": lambda *a: None,
             "__wj_lcg64": _lcg64_py,
             "__wj_u01": _u01_py,
+            "__wj_dgemm": _dgemm_py,
             "__ffi": _ffi_table(),
         }
         code = compile(source, "<repro-pybackend>", "exec")

@@ -110,7 +110,8 @@ _MEMORY: dict[str, tuple] = {}
 
 #: in-process counters, reported by :func:`stats`
 _COUNTERS = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
-             "evictions": 0, "tmp_swept": 0, "torn_dropped": 0}
+             "evictions": 0, "bytes_evicted": 0, "tmp_swept": 0,
+             "torn_dropped": 0}
 
 #: guest-source digest memo: (registry generation, sorted root qualnames)
 _GUEST_DIGEST_MEMO: dict[tuple, tuple[str, bool]] = {}
@@ -263,6 +264,7 @@ def program_key(minfo, recv_shape: ObjShape, arg_shapes, *, backend: str,
         _shape_classes(s, roots)
     guest, persistable = guest_source_digest(roots)
     from repro.opt import pipeline_token
+    from repro.opt.parallel import blas_token, omp_token
 
     material = {
         "v": _FORMAT_VERSION,
@@ -279,6 +281,11 @@ def program_key(minfo, recv_shape: ObjShape, arg_shapes, *, backend: str,
         # key the cache: toggling REPRO_OPT_PASSES can never reuse a stale
         # artifact built under a different pass set
         "opt_passes": pipeline_token(opt),
+        # likewise the parallel-loop configuration (REPRO_OMP /
+        # REPRO_OMP_THREADS change the emitted pragmas) and the BLAS build
+        # mode (REPRO_BLAS changes build flags for identical source)
+        "omp": omp_token(opt) if backend == "c" else "",
+        "blas": blas_token() if backend == "c" else "",
         "bounds": bool(bounds_checks),
         "cc": _cc_version() if backend == "c" else "",
     }
@@ -702,6 +709,17 @@ def evict(cap_bytes: Optional[int] = None) -> dict:
     if evicted:
         with _TIER_LOCK:
             _COUNTERS["evictions"] += evicted
+            _COUNTERS["bytes_evicted"] += freed
+    # eviction-pressure telemetry: cumulative counters plus point-in-time
+    # footprint gauges, so pressure over time is visible in metric exports
+    from repro.obs import metrics as _metrics
+
+    reg = _metrics.registry()
+    if evicted:
+        reg.counter("cache.evictions").inc(evicted)
+        reg.counter("cache.bytes_evicted").inc(freed)
+    reg.gauge("cache.disk_bytes").set(total)
+    reg.gauge("cache.disk_entries").set(len(infos) - evicted)
     return {
         "cap_bytes": cap_bytes,
         "evicted": evicted,
@@ -774,6 +792,11 @@ def stats() -> dict:
         by_kind[i["kind"]] = by_kind.get(i["kind"], 0) + 1
     now = time.time()
     ages = [max(0.0, now - i["last_used"]) for i in infos]
+    from repro.obs import metrics as _metrics
+
+    reg = _metrics.registry()
+    reg.gauge("cache.disk_bytes").set(n_bytes)
+    reg.gauge("cache.disk_entries").set(len(infos))
     with _TIER_LOCK:
         return {
             "dir": str(root),

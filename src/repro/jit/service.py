@@ -320,6 +320,13 @@ def _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt, *,
     _PHASE_HIST["backend_compile_s"].observe(backend_s)
     _PHASE_HIST["cached_lookup_s"].observe(probe_s)
 
+    bstats = dict(getattr(compiled, "build_stats", None) or {})
+    if "parallel" in bstats:
+        # loop-parallelization decisions belong with the optimizer stats
+        # (they are an opt-pipeline product, the build merely honours them)
+        opt_stats = dict(opt_stats)
+        opt_stats["parallel"] = bstats["parallel"]
+
     report = _engine.JitReport(
         translate_s=translate_s,
         backend_compile_s=backend_s,
@@ -329,7 +336,7 @@ def _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt, *,
         backend=backend_obj.name,
         opt=opt.value,
         opt_stats=opt_stats,
-        build_stats=dict(getattr(compiled, "build_stats", None) or {}),
+        build_stats=bstats,
     )
     return _engine.JitCode(program, compiled, report)
 

@@ -139,6 +139,24 @@ def _u01_py(state) -> float:
     return float((int(state) & _U64_MASK) >> 11) * _U01_SCALE
 
 
+def _dgemm_py(a, b, c, m, n, k) -> None:
+    """Reference dgemm: C += A·B over flat row-major f64 arrays.
+
+    This exact accumulation order (per output cell: load, add k products
+    ascending, store) is what the C prelude's non-BLAS fallback performs,
+    so interpreter / py backend / fallback-C agree bit for bit.  Only a
+    detected cblas_dgemm (REPRO_BLAS=1 at build time) may reassociate.
+    """
+    m, n, k = int(m), int(n), int(k)
+    for i in range(m):
+        for j in range(n):
+            acc = c[i * n + j]
+            for t in range(k):
+                acc += a[i * k + t] * b[t * n + j]
+            c[i * n + j] = acc
+    return None
+
+
 class _Wj:
     """Framework utility namespace.
 
@@ -177,6 +195,7 @@ class _Wj:
 
     lcg64 = staticmethod(_lcg64_py)
     u01 = staticmethod(_u01_py)
+    dgemm = staticmethod(_dgemm_py)
 
 
 wj = _Wj()
@@ -204,4 +223,7 @@ intrinsic_registry.register(
 )
 intrinsic_registry.register(
     wj, ("u01",), IntrinsicSpec(key="wj.u01", ret=_t.F64, pyimpl=_u01_py)
+)
+intrinsic_registry.register(
+    wj, ("dgemm",), IntrinsicSpec(key="wj.dgemm", ret=_t.VOID, pyimpl=_dgemm_py)
 )

@@ -23,12 +23,14 @@ on the Python simulated device, which implements barriers).
 """
 
 from repro.library.matmul.calculator import (
+    BlasCalculator,
     BlockedCalculator,
     GpuCalculator,
     InnerBody,
     OptimizedCalculator,
     SimpleCalculator,
     TiledGpuCalculator,
+    make_calculator,
 )
 from repro.library.matmul.matrix import Matrix, SimpleMatrix, make_matrix
 from repro.library.matmul.threads import (
@@ -42,6 +44,7 @@ from repro.library.matmul.threads import (
 )
 
 __all__ = [
+    "BlasCalculator",
     "BlockedCalculator",
     "CPULoop",
     "FoxAlgorithm",
@@ -57,5 +60,6 @@ __all__ = [
     "SimpleMatrix",
     "SimpleOuterBody",
     "TiledGpuCalculator",
+    "make_calculator",
     "make_matrix",
 ]

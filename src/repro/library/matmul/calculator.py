@@ -167,6 +167,40 @@ class TiledGpuCalculator(InnerBody):
 
 
 @wootin
+class BlasCalculator(InnerBody):
+    """Lowers the whole multiply to one ``wj.dgemm`` intrinsic call.
+
+    When the C backend was built with a detected CBLAS (``REPRO_BLAS=1``),
+    the call becomes ``cblas_dgemm``; otherwise it is the prelude's
+    bit-exact fallback loop nest (same accumulation order as the Python
+    reference).  Square matrices only — ``Matrix.size()`` is the shared
+    edge.
+    """
+
+    def __init__(self):
+        super().__init__()
+
+    def multiply_add(self, a: Matrix, b: Matrix, c: Matrix) -> None:
+        n = a.size()
+        wj.dgemm(a.raw(), b.raw(), c.raw(), n, n, n)
+
+
+def make_calculator() -> InnerBody:
+    """The default inner kernel, honouring ``REPRO_BLAS``.
+
+    ``REPRO_BLAS=1`` selects :class:`BlasCalculator` (dgemm lowering);
+    otherwise the hand-optimized ikj loop nest.  A plain factory, not
+    translated code — component selection happens at guest-construction
+    time, like the paper's application wiring.
+    """
+    from repro.opt.parallel import blas_enabled
+
+    if blas_enabled():
+        return BlasCalculator()
+    return OptimizedCalculator()
+
+
+@wootin
 class BlockedCalculator(InnerBody):
     """Cache-blocked ikj kernel: tiles of edge ``bs`` keep the working set
     in cache — a further InnerBody feature point (the paper's library is

@@ -82,10 +82,13 @@ def _translate(method, call_args, app, passes_env):
 def collect() -> dict:
     """Translate each demo program with the mid-end off and on; returns
     ``{program: {"before": {...}, "after": {...}, "passes": {...}}}``."""
+    from repro.opt.parallel import analyze_program
+
     out = {}
     for name, (method, call_args, app) in sorted(_demo_apps().items()):
         base = _translate(method, call_args, app, "0")
         opt = _translate(method, call_args, app, "1")
+        plan = analyze_program(opt.program)
         out[name] = {
             "before": {
                 "ir_stmts": _count_ir_stmts(base.program),
@@ -96,6 +99,13 @@ def collect() -> dict:
                 "c_stmts": _count_c_stmts(opt.program),
             },
             "passes": (opt.report.opt_stats or {}).get("pipeline", {}),
+            "parallel": {
+                "loops_seen": plan.stats["loops_seen"],
+                "loops_parallel": plan.stats["loops_parallel"],
+                "loops_guarded": plan.stats["loops_guarded"],
+                "reductions": plan.stats["reductions"],
+                "functions": plan.stats["functions"],
+            },
         }
     return out
 
@@ -119,6 +129,17 @@ def render(data: dict) -> str:
             lines.append(
                 f"  pass {pname:4s}     : {st['rewrites']:4d} rewrites "
                 f"over {st['runs']} function(s)"
+            )
+        par = d.get("parallel")
+        if par is not None:
+            extra = ""
+            if par["loops_guarded"]:
+                extra += f", {par['loops_guarded']} guarded"
+            if par["reductions"]:
+                extra += f", {par['reductions']} reduction(s)"
+            lines.append(
+                f"  parallel loops: {par['loops_parallel']:5d} of "
+                f"{par['loops_seen']} analyzed{extra}"
             )
         lines.append("")
     return "\n".join(lines)

@@ -198,6 +198,8 @@ class TestLruDiskTier:
         assert st["disk_bytes"] <= int(cap_mb * 1024 * 1024)
         assert st["disk_entries"] == 2
         assert st["evictions"] >= 1
+        # eviction-pressure telemetry: bytes reclaimed are tracked too
+        assert st["bytes_evicted"] >= one_entry
         # the survivors are the most recently stored programs
         code_cache.clear_memory()
         assert _compile_distinct(3).report.cache_tier == "disk"

@@ -69,6 +69,7 @@ class TestShippedArtifacts:
             "docs/JIT_SERVICE.md",
             "docs/OBSERVABILITY.md",
             "docs/OPTIMIZER.md",
+            "docs/PARALLEL_CPU.md",
             "docs/SIMULATION.md",
             "examples/quickstart.py",
             "pyproject.toml",
