@@ -1,0 +1,13 @@
+"""Fig 19: N-body guest workload, problem-size scaling."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig19_nbody_scaling(benchmark):
+    s = run_series(benchmark, figures.fig19)
+    assert len(s.rows) == 4
+    # translated C comfortably beats interpretation once the problem is
+    # big enough to swamp invoke overhead (tiny sizes are noise-bound)
+    size, _, _, _, c_speedup = s.rows[-1]
+    assert c_speedup > 2.0, f"n={size}: C only {c_speedup:.1f}x"

@@ -1,0 +1,11 @@
+"""Fig 20: conjugate-gradient guest workload, grid-size scaling."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig20_cgsolve_scaling(benchmark):
+    s = run_series(benchmark, figures.fig20)
+    assert len(s.rows) == 4
+    size, _, _, _, c_speedup = s.rows[-1]
+    assert c_speedup > 2.0, f"grid={size}: C only {c_speedup:.1f}x"

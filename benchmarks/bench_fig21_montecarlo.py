@@ -1,0 +1,11 @@
+"""Fig 21: Monte-Carlo pricer guest workload, path-count scaling."""
+
+from repro.bench import figures
+from benchmarks.conftest import run_series
+
+
+def test_fig21_montecarlo_scaling(benchmark):
+    s = run_series(benchmark, figures.fig21)
+    assert len(s.rows) == 4
+    size, _, _, _, c_speedup = s.rows[-1]
+    assert c_speedup > 2.0, f"paths={size}: C only {c_speedup:.1f}x"

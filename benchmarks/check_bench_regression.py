@@ -1,9 +1,16 @@
 """Perf-regression gate over the guest-workload kernel times.
 
-Compares a freshly generated ``BENCH_guests.json`` against the committed
-baseline and fails when any workload's C-backend invoke time regressed by
-more than the threshold (default 25%).  Interpreter and py-backend times
-are reported but never gated — they are too noisy to block a merge on.
+Compares a freshly generated ``BENCH_guests.json`` against a reference
+and fails when any workload's C-backend invoke time regressed by more
+than the threshold (default 25%).  Interpreter and py-backend times are
+reported but never gated — they are too noisy to block a merge on.
+
+The reference is a **rolling median**: every run appends its per-workload
+C times to ``results/history.jsonl``, and the gate compares against the
+median of the last ``--window`` recorded runs (a single slow run cannot
+poison the reference, and a single lucky run cannot ratchet it).  Until
+enough history accumulates (``--min-history`` runs), the committed
+``BENCH_guests.json`` baseline is used instead.
 
 Shared CI runners have wildly varying load, so the gate can be demoted to
 warn-only with ``REPRO_BENCH_GATE=warn`` (the CI workflow sets this; run
@@ -13,7 +20,7 @@ Usage::
 
     python benchmarks/check_bench_regression.py \
         [--baseline results/BENCH_guests.json] [--fresh FRESH.json] \
-        [--threshold 0.25]
+        [--threshold 0.25] [--history results/history.jsonl] [--window 5]
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
+import time
 from pathlib import Path
 
 RESULTS = Path(__file__).parent / "results"
@@ -53,6 +62,57 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[dict]:
     return rows
 
 
+def load_history(path: Path) -> list[dict]:
+    """All recorded runs, oldest first (malformed lines are skipped so a
+    truncated write can never wedge the gate)."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            e = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(e, dict) and isinstance(e.get("workloads"), dict):
+            entries.append(e)
+    return entries
+
+
+def append_history(path: Path, fresh: dict) -> None:
+    """Record the fresh run's per-workload C invoke times."""
+    entry = {
+        "ts": time.time(),
+        "workloads": {
+            name: wl["c"]["invoke_s"]
+            for name, wl in fresh.get("workloads", {}).items()
+            if wl.get("c", {}).get("invoke_s")
+        },
+    }
+    path.parent.mkdir(exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def rolling_reference(entries: list[dict], window: int) -> dict:
+    """A baseline-shaped dict whose per-workload C time is the median of
+    the last ``window`` history entries that recorded that workload."""
+    recent = entries[-window:]
+    series: dict[str, list[float]] = {}
+    for e in recent:
+        for name, t in e["workloads"].items():
+            if isinstance(t, (int, float)) and t > 0:
+                series.setdefault(name, []).append(float(t))
+    return {
+        "workloads": {
+            name: {"c": {"invoke_s": statistics.median(ts)}}
+            for name, ts in series.items()
+        }
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=str(RESULTS / "BENCH_guests.json"))
@@ -60,14 +120,20 @@ def main(argv=None) -> int:
                     help="fresh results (default: regenerate via pytest)")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed slowdown fraction (default 0.25 = 25%%)")
+    ap.add_argument("--history", default=str(RESULTS / "history.jsonl"),
+                    help="rolling-history file (JSONL, one run per line)")
+    ap.add_argument("--window", type=int, default=5,
+                    help="history runs the rolling median covers")
+    ap.add_argument("--min-history", type=int, default=3,
+                    help="history runs required before the rolling median "
+                         "replaces the committed baseline")
+    ap.add_argument("--no-record", action="store_true",
+                    help="do not append this run to the history file")
     args = ap.parse_args(argv)
 
     baseline_path = Path(args.baseline)
-    if not baseline_path.exists():
-        print(f"[bench-gate] no baseline at {baseline_path}; nothing to "
-              "compare", file=sys.stderr)
-        return 0
-    baseline = json.loads(baseline_path.read_text())
+    baseline = (json.loads(baseline_path.read_text())
+                if baseline_path.exists() else None)
 
     if args.fresh:
         fresh = json.loads(Path(args.fresh).read_text())
@@ -75,8 +141,7 @@ def main(argv=None) -> int:
         import subprocess
 
         # regenerate in-place: bench_guests overwrites BENCH_guests.json,
-        # so snapshot the baseline first
-        baseline = json.loads(baseline_path.read_text())
+        # so snapshot the baseline first (done above)
         rc = subprocess.run(
             [sys.executable, "-m", "pytest",
              str(Path(__file__).parent / "bench_guests.py"), "-x", "-q"],
@@ -85,21 +150,42 @@ def main(argv=None) -> int:
         if rc != 0:
             print("[bench-gate] bench_guests failed to run", file=sys.stderr)
             return rc
-        fresh = json.loads(baseline_path.read_text())
+        fresh = json.loads((RESULTS / "BENCH_guests.json").read_text())
 
-    rows = compare(baseline, fresh, args.threshold)
+    history_path = Path(args.history)
+    history = load_history(history_path)
+    if len(history) >= args.min_history:
+        reference = rolling_reference(history, args.window)
+        ref_name = (f"median of last {min(args.window, len(history))} "
+                    f"run(s)")
+    elif baseline is not None:
+        reference = baseline
+        ref_name = f"committed baseline ({baseline_path.name})"
+    else:
+        print(f"[bench-gate] no baseline at {baseline_path} and only "
+              f"{len(history)} history run(s); nothing to compare",
+              file=sys.stderr)
+        if not args.no_record:
+            append_history(history_path, fresh)
+        return 0
+
+    if not args.no_record:
+        append_history(history_path, fresh)
+
+    rows = compare(reference, fresh, args.threshold)
     bad = [r for r in rows if r.get("regressed")]
+    print(f"[bench-gate] reference: {ref_name}")
     for r in rows:
         if r.get("missing"):
             print(f"  {r['workload']:12s} MISSING from fresh results")
             continue
         flag = "  REGRESSED" if r["regressed"] else ""
-        print(f"  {r['workload']:12s} baseline {r['baseline_s'] * 1e3:8.3f} ms"
+        print(f"  {r['workload']:12s} reference {r['baseline_s'] * 1e3:8.3f} ms"
               f"   fresh {r['fresh_s'] * 1e3:8.3f} ms"
               f"   ({r['ratio']:.2f}x){flag}")
     if not bad:
         print(f"[bench-gate] OK: no workload slower than "
-              f"{1 + args.threshold:.2f}x baseline")
+              f"{1 + args.threshold:.2f}x reference")
         return 0
     msg = (f"[bench-gate] {len(bad)} workload(s) regressed beyond "
            f"{1 + args.threshold:.2f}x")

@@ -507,7 +507,7 @@ class _CFunc:
         if isinstance(expr, ir.FieldLoad):
             return self.emit_field(expr)
         if isinstance(expr, ir.ArrayLoad):
-            if self.p.bounds_checks:
+            if self.p.bounds_checks and not expr.bounds_ok:
                 suf = arr_suffix(expr.arr.ty.elem)
                 return (f"wj_ld_{suf}({self.e(expr.arr)}, "
                         f"(int64_t)({self.e(expr.index)}))")
@@ -814,7 +814,9 @@ class _CFunc:
             w.line(f"snap->{member} = {self.e(s.value)};")
             return
         if isinstance(s, ir.ArrayStore):
-            if self.p.bounds_checks:
+            # bounds_ok accesses were proven in-range by the bce pass
+            # (repro.opt.cfg.ranges) — the guard would be dead code
+            if self.p.bounds_checks and not s.bounds_ok:
                 suf = arr_suffix(s.arr.ty.elem)
                 elem_c = s.arr.ty.elem.cname
                 w.line(

@@ -108,6 +108,8 @@ class _FuncEmitter:
         if isinstance(e, ir.FieldLoad):
             return self.emit_field(e.obj, e.fname, e.shape)
         if isinstance(e, ir.ArrayLoad):
+            if self.p.bounds_checks and not e.bounds_ok:
+                return f"__wj_ld({self.emit(e.arr)}, {self.emit(e.index)})"
             return f"{self.emit(e.arr)}[{self.emit(e.index)}]"
         if isinstance(e, ir.ArrayLen):
             return f"len({self.emit(e.arr)})"
@@ -294,6 +296,13 @@ class _FuncEmitter:
             )
             return
         if isinstance(s, ir.ArrayStore):
+            # bounds_ok accesses were proven in-range by the bce pass
+            if self.p.bounds_checks and not s.bounds_ok:
+                w.line(
+                    f"__wj_st({self.emit(s.arr)}, {self.emit(s.index)}, "
+                    f"{self.emit(s.value)})"
+                )
+                return
             w.line(
                 f"{self.emit(s.arr)}[{self.emit(s.index)}] = {self.emit(s.value)}"
             )
@@ -428,8 +437,9 @@ def _call_value_exprs_kernel(e: ir.KernelLaunch):
 
 
 class _ProgramEmitter:
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, *, bounds_checks: bool = False):
         self.program = program
+        self.bounds_checks = bounds_checks
         self.w = _Writer()
         self.local_shapes: dict[str, dict[str, Shape]] = {}
         self._sync_cache: dict[str, bool] = {}
@@ -477,10 +487,38 @@ class _ProgramEmitter:
         w.depth -= 1
 
 
+def _ld_checked(arr, idx):
+    """Bounds-checked array load for the py backend's REPRO_BOUNDS mode."""
+    i = int(idx)
+    if not 0 <= i < len(arr):
+        from repro.errors import GuestRuntimeError
+
+        raise GuestRuntimeError(
+            f"out-of-bounds array access in translated code: index {i} "
+            f"not in [0, {len(arr)}) (debug bounds checking)"
+        )
+    return arr[i]
+
+
+def _st_checked(arr, idx, value):
+    """Bounds-checked array store for the py backend's REPRO_BOUNDS mode."""
+    i = int(idx)
+    if not 0 <= i < len(arr):
+        from repro.errors import GuestRuntimeError
+
+        raise GuestRuntimeError(
+            f"out-of-bounds array access in translated code: index {i} "
+            f"not in [0, {len(arr)}) (debug bounds checking)"
+        )
+    arr[i] = value
+
+
 class _PyCompiled(CompiledProgram):
-    def __init__(self, program: Program, source: str):
+    def __init__(self, program: Program, source: str, *,
+                 bounds_checks: bool = False):
         self.program = program
         self.source = source
+        self.bounds_checks = bounds_checks
         self._globals = {
             "__np": np,
             "__math": math,
@@ -490,6 +528,8 @@ class _PyCompiled(CompiledProgram):
             "__wj_lcg64": _lcg64_py,
             "__wj_u01": _u01_py,
             "__wj_dgemm": _dgemm_py,
+            "__wj_ld": _ld_checked,
+            "__wj_st": _st_checked,
             "__ffi": _ffi_table(),
         }
         code = compile(source, "<repro-pybackend>", "exec")
@@ -517,11 +557,25 @@ def _ffi_table() -> dict:
 
 
 class PyBackend(Backend):
-    """Emit flat specialized Python and exec it (portable backend)."""
+    """Emit flat specialized Python and exec it (portable backend).
+
+    Like the C backend, honors ``REPRO_BOUNDS`` (debug bounds checking):
+    unproven array accesses go through checked helpers that raise
+    :class:`~repro.errors.GuestRuntimeError` on out-of-bounds indices —
+    numpy alone would silently accept negative indices."""
 
     name = "py"
 
+    def __init__(self, *, bounds_checks: bool | None = None):
+        from repro.env import env_flag
+
+        if bounds_checks is None:
+            bounds_checks = env_flag("REPRO_BOUNDS", default=False)
+        self.bounds_checks = bounds_checks
+
     def compile(self, program: Program, opt: OptLevel) -> CompiledProgram:
         # the Python backend always emits at FULL optimization (see base.py)
-        source = _ProgramEmitter(program).emit()
-        return _PyCompiled(program, source)
+        source = _ProgramEmitter(
+            program, bounds_checks=self.bounds_checks).emit()
+        return _PyCompiled(program, source,
+                           bounds_checks=self.bounds_checks)

@@ -35,8 +35,8 @@ from repro.bench.workloads import Workloads, current
 
 __all__ = [
     "fig03", "fig04", "fig05", "fig06", "fig07", "fig09", "fig10", "fig11",
-    "fig12", "fig13_16", "fig17", "fig18", "table1_2", "table3",
-    "all_experiments",
+    "fig12", "fig13_16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "table1_2", "table3", "all_experiments",
 ]
 
 _CPU_VARIANTS = ["c-ref", "cpp", "template", "template-novirt", "wootinj"]
@@ -286,6 +286,95 @@ def fig12(w: Workloads | None = None) -> Series:
 
 
 # ---------------------------------------------------------------------------
+# guest-workload scaling (beyond the paper's four programs; same axes as
+# figs 17-18: interpreted vs translated at growing problem size)
+# ---------------------------------------------------------------------------
+
+def _guest_scaling_series(exp_id, title, points) -> Series:
+    """Problem-size scaling of one guest workload: interpreted vs the py
+    and C backends.  ``points`` is ``[(size_label, make, method, args)]``;
+    each backend point is min-of-:func:`_repeats` invokes of one cold
+    translation, the interpreted point runs once (it dominates the bench
+    budget already)."""
+    import time as _time
+
+    from repro import jit
+    import repro.rt as _rt
+
+    s = Series(
+        exp_id, title, ["size", "interp_s", "py_s", "c_s", "c_speedup"]
+    )
+    for size, make, method, args in points:
+        _rt.current.reset()
+        t0 = _time.perf_counter()
+        getattr(make(), method)(*args)
+        interp_s = _time.perf_counter() - t0
+        _rt.current.take_outputs()
+        times = {}
+        for backend in ("py", "c"):
+            code = jit(make(), method, *args, backend=backend,
+                       use_cache=False)
+            samples = []
+            for i in range(_repeats()):
+                with iteration_span(exp_id, backend, i, size=size):
+                    t0 = _time.perf_counter()
+                    code.invoke()
+                    samples.append(_time.perf_counter() - t0)
+            times[backend] = min(samples)
+        s.rows.append(
+            [size, interp_s, times["py"], times["c"],
+             interp_s / times["c"]]
+        )
+    s.notes = (
+        "Expected shape: c_speedup grows (or stays >> 1) with problem "
+        "size — translation cost is constant, the win is per-element "
+        "(cf. BENCH_guests.json for the single-size snapshot)."
+    )
+    return s
+
+
+def fig19(w: Workloads | None = None) -> Series:
+    """N-body (gravity, kick-drift) problem-size scaling, 1 thread."""
+    from repro.library.nbody.config import make_system
+
+    points = [
+        (n, (lambda n=n: make_system(n, force="gravity",
+                                     integ="kickdrift")), "run", (10,))
+        for n in (16, 32, 48, 64)
+    ]
+    return _guest_scaling_series(
+        "fig19", "N-body gravity, 10 steps, growing particle count", points
+    )
+
+
+def fig20(w: Workloads | None = None) -> Series:
+    """Conjugate-gradient (Jacobi-preconditioned) grid-size scaling."""
+    from repro.library.cgsolve.config import make_solver
+
+    points = [
+        (n, (lambda n=n: make_solver(n, n, precond="jacobi")),
+         "solve", (300,))
+        for n in (8, 12, 16, 24)
+    ]
+    return _guest_scaling_series(
+        "fig20", "CG solve (Jacobi), 300 iterations, growing grid", points
+    )
+
+
+def fig21(w: Workloads | None = None) -> Series:
+    """Monte-Carlo option pricer path-count scaling."""
+    from repro.library.montecarlo.config import make_pricer
+
+    points = [
+        (n, (lambda n=n: make_pricer(n, kind="call")), "run", (n,))
+        for n in (5000, 10000, 20000, 40000)
+    ]
+    return _guest_scaling_series(
+        "fig21", "Monte-Carlo call pricing, growing path count", points
+    )
+
+
+# ---------------------------------------------------------------------------
 # compilation time
 # ---------------------------------------------------------------------------
 
@@ -422,6 +511,6 @@ def all_experiments(w: Workloads | None = None) -> list[Series]:
     w = w or current()
     out = []
     for fn in (fig03, fig04, fig05, fig06, fig07, fig09, fig10, fig11, fig12,
-               fig13_16, fig17, fig18, table1_2, table3):
+               fig13_16, fig17, fig18, fig19, fig20, fig21, table1_2, table3):
         out.append(fn(w))
     return out

@@ -90,6 +90,10 @@ class FieldLoad(Expr):
 class ArrayLoad(Expr):
     arr: Expr
     index: Expr
+    #: set by the bounds-check-elimination pass (repro.opt.cfg.ranges) when
+    #: the index is provably within [0, len(arr)); emitters may then skip
+    #: the REPRO_BOUNDS guard for this access
+    bounds_ok: bool = field(init=False, default=False, compare=False)
 
     def __post_init__(self):
         assert isinstance(self.arr.ty, _t.ArrayType)
@@ -293,6 +297,8 @@ class ArrayStore(Stmt):
     arr: Expr
     index: Expr
     value: Expr
+    #: see ArrayLoad.bounds_ok — proven-in-bounds stores skip the guard
+    bounds_ok: bool = field(init=False, default=False, compare=False)
 
 
 @dataclass

@@ -91,7 +91,9 @@ class Snapshot:
             slot = len(self.array_slots)
             self.array_slots.append(ArraySlot(slot, path, arr, elem))
             self._alias[id(arr)] = slot
-        return ArrayShape(_t.ArrayType(elem), slot=slot)
+        # the captured size is part of the shape: it keys specialization
+        # and lets the mid-end prove accesses in-bounds (docs/CFG.md)
+        return ArrayShape(_t.ArrayType(elem), slot=slot, length=int(arr.size))
 
     def _capture_object(self, obj, info: _t.ClassInfo, path: str) -> ObjShape:
         if id(obj) in self._visiting:

@@ -66,21 +66,34 @@ class ArrayShape(Shape):
     resolves to when it is part of the immutable snapshot; dynamic arrays
     (allocated inside translated code, or merged from distinct slots) have
     ``slot=None`` and live as runtime values.
+
+    ``length`` is the element count when it is statically known — snapshot
+    arrays record their captured size, exactly like snapshot primitives
+    record their value.  Because lengths enter the shape digest they become
+    specialization (and cache-key) constants, which is what lets the range
+    analysis (``repro.opt.cfg.ranges``) prove accesses in-bounds and elide
+    ``REPRO_BOUNDS`` guards soundly: an artifact proven for one length can
+    never be reused for another.
     """
 
-    __slots__ = ("ty", "slot")
+    __slots__ = ("ty", "slot", "length")
 
-    def __init__(self, ty: _t.ArrayType, slot: Optional[int] = None):
+    def __init__(self, ty: _t.ArrayType, slot: Optional[int] = None,
+                 length: Optional[int] = None):
         assert isinstance(ty, _t.ArrayType)
         self.ty = ty
         self.slot = slot
+        self.length = length
 
     @property
     def elem(self) -> _t.PrimType:
         return self.ty.elem  # element types are strict-final primitives here
 
     def digest(self) -> str:
-        return f"{self.ty!r}@{self.slot if self.slot is not None else 'dyn'}"
+        slot = self.slot if self.slot is not None else "dyn"
+        if self.length is None:
+            return f"{self.ty!r}@{slot}"
+        return f"{self.ty!r}@{slot}#{self.length}"
 
     def __repr__(self) -> str:
         return f"ArrayShape({self.digest()})"
@@ -145,9 +158,10 @@ def merge_shapes(a: Shape, b: Shape, *, where: str = "") -> Shape:
             raise TypeFlowError(
                 f"conflicting array types at merge: {a.ty!r} vs {b.ty!r} {where}"
             )
-        if a.slot is not None and a.slot == b.slot:
+        if a.slot is not None and a.slot == b.slot and a.length == b.length:
             return a
-        return ArrayShape(a.ty)
+        length = a.length if a.length == b.length else None
+        return ArrayShape(a.ty, length=length)
     if isinstance(a, ObjShape) and isinstance(b, ObjShape):
         if a.cls is not b.cls:
             raise TypeFlowError(

@@ -28,15 +28,24 @@ Arc = tuple[str, int, int]
 
 def default_tracked_files() -> dict[str, str]:
     """Map of absolute filename -> short label for the tracked pipeline
-    stages (lowering, optimizer, and both backend emitters)."""
+    stages (lowering, optimizer including the CFG mid-end, and both
+    backend emitters)."""
     import repro.backends.cbackend.emit as cemit
     import repro.backends.pybackend.emit as pyemit
     import repro.frontend.lower as lower
+    import repro.opt.cfg.builder as cfg_builder
+    import repro.opt.cfg.dataflow as cfg_dataflow
+    import repro.opt.cfg.inline as cfg_inline
+    import repro.opt.cfg.ranges as cfg_ranges
     import repro.opt.passes as passes
 
     return {
         lower.__file__: "lower",
         passes.__file__: "opt",
+        cfg_builder.__file__: "cfg",
+        cfg_dataflow.__file__: "cfg-df",
+        cfg_ranges.__file__: "cfg-rng",
+        cfg_inline.__file__: "cfg-inl",
         cemit.__file__: "c-emit",
         pyemit.__file__: "py-emit",
     }

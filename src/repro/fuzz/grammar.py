@@ -6,7 +6,8 @@ grammar well past what that harness ever emitted: i64 arithmetic, while
 loops with bounded counters, boolean operators, if/elif/else chains,
 nested helper-call chains (helpers calling helpers), an ``Array(f64)``
 constructor field with indexed loads *and* stores, scatter stores through
-computed indices, ``break``/``continue``, float ``//``/``%``/``**``, and
+computed indices, nested for-loops with affine and non-affine (clamped)
+index expressions, ``break``/``continue``, float ``//``/``%``/``**``, and
 ``int()``/``float()`` casts.
 
 Programs are represented as an immutable :class:`ProgramSpec` — a genome
@@ -73,7 +74,8 @@ _DIVISORS = ["2.0", "4.0", "0.5", "8.0"]
 #: small nonzero i64 literals (divisors and multipliers)
 _ILITS = ["1", "2", "3", "5", "7", "-2", "-3", "9", "4"]
 
-_BLOCK_KINDS = ("scalar", "for_arr", "scatter", "while", "if_chain")
+_BLOCK_KINDS = ("scalar", "for_arr", "scatter", "while", "if_chain",
+                "nested")
 
 
 @dataclass(frozen=True)
@@ -91,13 +93,14 @@ class Features:
     scatter: bool = True
     break_continue: bool = True
     new_ops: bool = True
+    nested_loops: bool = True
 
 
 LEGACY_FEATURES = Features(i64_arith=False, while_loops=False,
                            bool_ops=False, if_chains=False,
                            helper_chains=False, data_field=False,
                            scatter=False, break_continue=False,
-                           new_ops=False)
+                           new_ops=False, nested_loops=False)
 FULL_FEATURES = Features()
 
 
@@ -366,6 +369,28 @@ def _emit_block(em: _Emitter, blk: BlockSpec, spec: ProgramSpec) -> None:
                     em.put("break")
             em.put("w = w + 1")
         return
+    if blk.kind == "nested":
+        # nested loops over the array, with affine (``arr[i + j]``) or
+        # non-affine (min-clamped product) indexing — the affine form is
+        # exactly what the mid-end's range analysis can prove in-bounds
+        # (bounds-check elimination), the clamped form must keep its
+        # check, and both must agree bit-for-bit across backends either
+        # way.  The update is a contraction (0.5/0.25 factors), so array
+        # values stay bounded across iterations.
+        lctx = dict(_loop_ctx(ctx, spec))
+        lctx["f_leaves"] = list(lctx["f_leaves"]) + ["float(j)"]
+        if feats.i64_arith:
+            lctx["i_leaves"] = list(lctx["i_leaves"]) + ["j"]
+        affine = blk.seed % 2 == 0
+        with em.block("for i in range(self.n - 2):"):
+            with em.block("for j in range(3):"):
+                em.put(f"x = {_fexpr(rng, lctx, blk.depth, feats)}")
+                _clamp_f(em, "x")
+                if affine:
+                    em.put("arr[i + j] = x * 0.25 + arr[i + j] * 0.5")
+                else:
+                    em.put("arr[min(i * j, self.n - 1)] = x * 0.25")
+        return
     if blk.kind == "scatter":
         lctx = _loop_ctx(ctx, spec)
         with em.block("for i in range(self.n):"):
@@ -551,6 +576,8 @@ def _random_block(rng: random.Random, feats: Features) -> BlockSpec:
         kinds.append("if_chain")
     if feats.scatter and feats.i64_arith:
         kinds.append("scatter")
+    if feats.nested_loops:
+        kinds.append("nested")
     return BlockSpec(kind=rng.choice(kinds), seed=rng.randrange(1 << 30),
                      depth=rng.randrange(2, 5), arms=rng.randrange(2, 5),
                      use_break=rng.random() < 0.3,

@@ -307,6 +307,16 @@ def _translate(minfo, snapshot, recv_shape, arg_shapes, opt=None):
     opt_stats = verify_program(program).as_dict()
     if pipeline is not None:
         opt_stats["pipeline"] = pipeline.stats_dict()
+        # per-function counts for the CFG mid-end (docs/CFG.md):
+        # {symbol: checks elided} / {symbol: calls spliced}
+        opt_stats["bce"] = dict(pipeline.func_stats.get("bce", {}))
+        opt_stats["inline"] = dict(pipeline.func_stats.get("inline", {}))
+        # every spliced call site was a devirtualized dispatch that the
+        # post-pass verification above can no longer see — fold them back
+        # in so the abstraction-cost metric measures the frontend's work,
+        # not whatever calls survived the inliner
+        opt_stats["devirtualized_calls"] += sum(
+            opt_stats["inline"].values())
     return program, opt_stats
 
 

@@ -1,0 +1,254 @@
+"""Generic dataflow over the CFG: worklist solver, dominators, def-use.
+
+The solver is direction-agnostic (classic iterative fixpoint with an
+optional widening hook for infinite-height lattices such as intervals).
+Two standard clients live here — dominators and reaching definitions
+(surfaced as def-use chains) — and the range analysis in
+:mod:`repro.opt.cfg.ranges` is a third.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import ir
+from repro.opt.cfg.builder import CFG, item_exprs
+
+__all__ = [
+    "DataflowAnalysis", "DefSite", "UseSite", "def_use_chains",
+    "dominators", "immediate_dominators", "solve",
+]
+
+
+class DataflowAnalysis:
+    """Base class for dataflow analyses run by :func:`solve`.
+
+    Subclasses pick a ``direction`` (``"forward"`` or ``"backward"``),
+    provide the ``boundary`` state (at the entry for forward analyses, at
+    the exit for backward ones), a ``join`` for merge points, and a
+    ``transfer`` function over one basic block.  ``None`` is the implicit
+    bottom ("unreached") state: the solver never passes it to ``join`` or
+    ``transfer``, so lattices need no explicit bottom element.
+    """
+
+    direction = "forward"
+
+    def boundary(self):
+        """State on the boundary (entry/exit) of the function."""
+        raise NotImplementedError
+
+    def join(self, a, b):
+        """Combine two states at a control-flow merge point."""
+        raise NotImplementedError
+
+    def transfer(self, block, state):
+        """Push ``state`` through ``block``; must not mutate ``state``."""
+        raise NotImplementedError
+
+    def equal(self, a, b) -> bool:
+        """Fixpoint test; override when states lack cheap ``==``."""
+        return a == b
+
+    def widen(self, old, new, visits: int):
+        """Accelerate convergence after ``visits`` passes over a block.
+
+        The default is no widening (finite lattices converge on their
+        own); interval-style analyses override this."""
+        return new
+
+
+def solve(cfg: CFG, analysis: DataflowAnalysis) -> dict:
+    """Run ``analysis`` to fixpoint; returns ``{bid: (in, out)}``.
+
+    Unreachable blocks keep ``None`` ("unreached") on both sides.  For
+    backward analyses the roles of ``in`` and ``out`` are swapped in the
+    usual way: ``out`` is joined over successors and ``in`` is the result
+    of the transfer.
+    """
+    forward = analysis.direction == "forward"
+    order = cfg.rpo()
+    if not forward:
+        order = list(reversed(order))
+    in_states: dict[int, object] = {b.bid: None for b in cfg.blocks}
+    out_states: dict[int, object] = {b.bid: None for b in cfg.blocks}
+    visits: dict[int, int] = {b.bid: 0 for b in cfg.blocks}
+
+    def sources(bid: int) -> list[int]:
+        if forward:
+            return cfg.blocks[bid].preds
+        return [e.dst for e in cfg.blocks[bid].succs]
+
+    boundary_bid = cfg.entry if forward else cfg.exit
+    work = list(order)
+    in_work = set(work)
+    while work:
+        bid = work.pop(0)
+        in_work.discard(bid)
+        merged = analysis.boundary() if bid == boundary_bid else None
+        for src in sources(bid):
+            s = out_states[src]
+            if s is None:
+                continue
+            merged = s if merged is None else analysis.join(merged, s)
+        if merged is None:
+            continue  # unreachable from the boundary
+        in_states[bid] = merged
+        new_out = analysis.transfer(cfg.blocks[bid], merged)
+        visits[bid] += 1
+        old_out = out_states[bid]
+        if old_out is not None:
+            new_out = analysis.widen(old_out, new_out, visits[bid])
+        if old_out is None or not analysis.equal(old_out, new_out):
+            out_states[bid] = new_out
+            targets = ([e.dst for e in cfg.blocks[bid].succs] if forward
+                       else cfg.blocks[bid].preds)
+            for t in targets:
+                if t not in in_work:
+                    work.append(t)
+                    in_work.add(t)
+    if forward:
+        return {bid: (in_states[bid], out_states[bid]) for bid in in_states}
+    # backward: present results as (in, out) in program order
+    return {bid: (out_states[bid], in_states[bid]) for bid in in_states}
+
+
+# ---------------------------------------------------------------------------
+# dominators
+# ---------------------------------------------------------------------------
+
+def dominators(cfg: CFG) -> dict[int, set[int]]:
+    """Dominator sets for every reachable block (entry dominates all)."""
+    reach = cfg.rpo()
+    universe = set(reach)
+    dom = {bid: set(universe) for bid in reach}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for bid in reach:
+            if bid == cfg.entry:
+                continue
+            preds = [p for p in cfg.blocks[bid].preds if p in universe]
+            new = set(universe)
+            for p in preds:
+                new &= dom[p]
+            if not preds:
+                new = set()
+            new.add(bid)
+            if new != dom[bid]:
+                dom[bid] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(cfg: CFG) -> dict[int, int]:
+    """Immediate dominator of every reachable block except the entry."""
+    dom = dominators(cfg)
+    idom: dict[int, int] = {}
+    for bid, ds in dom.items():
+        if bid == cfg.entry:
+            continue
+        strict = ds - {bid}
+        # the idom is the strict dominator dominated by all the others
+        for cand in strict:
+            if all(cand in dom[other] for other in strict):
+                idom[bid] = cand
+                break
+    return idom
+
+
+# ---------------------------------------------------------------------------
+# def-use chains (reaching definitions)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DefSite:
+    """One definition of ``name``: item ``index`` inside block ``block``."""
+
+    block: int
+    index: int
+    name: str
+
+
+@dataclass(frozen=True)
+class UseSite:
+    """One use of ``name``: item ``index`` inside block ``block``."""
+
+    block: int
+    index: int
+    name: str
+
+
+def _item_defs(item, index: int, bid: int) -> list[DefSite]:
+    from repro.opt.cfg.builder import LoopBind
+
+    if isinstance(item, (ir.LocalDecl, ir.Assign)):
+        return [DefSite(bid, index, item.name)]
+    if isinstance(item, LoopBind):
+        return [DefSite(bid, index, item.loop.var)]
+    return []
+
+
+def _item_uses(item, index: int, bid: int) -> list[UseSite]:
+    out = []
+    for root in item_exprs(item):
+        for e in ir.walk_exprs(root):
+            if isinstance(e, ir.LocalRef):
+                out.append(UseSite(bid, index, e.name))
+    return out
+
+
+class _ReachingDefs(DataflowAnalysis):
+    """Forward may-analysis: which definitions reach each block entry."""
+
+    direction = "forward"
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        # parameters (and self) act as definitions at the entry
+        fir = cfg.func_ir
+        names = list(fir.param_names)
+        if fir.self_shape is not None:
+            names.append("self")
+        self.entry_defs = frozenset(
+            DefSite(-1, -1, n) for n in names)
+
+    def boundary(self):
+        return self.entry_defs
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, state):
+        cur = set(state)
+        for i, item in enumerate(block.stmts):
+            for d in _item_defs(item, i, block.bid):
+                cur = {x for x in cur if x.name != d.name}
+                cur.add(d)
+        return frozenset(cur)
+
+
+def def_use_chains(cfg: CFG) -> dict[DefSite, list[UseSite]]:
+    """Map every definition site to the use sites it reaches.
+
+    Parameter (and ``self``) bindings appear as synthetic definitions at
+    ``block=-1, index=-1``.  A use is charged to every definition of the
+    same name that reaches it — multiple entries per use mean the value
+    is control-flow dependent (loop-carried, or merged over an ``if``).
+    """
+    states = solve(cfg, _ReachingDefs(cfg))
+    chains: dict[DefSite, list[UseSite]] = {}
+    for block in cfg.blocks:
+        in_state = states[block.bid][0]
+        if in_state is None:
+            continue  # unreachable
+        cur = set(in_state)
+        for i, item in enumerate(block.stmts):
+            for use in _item_uses(item, i, block.bid):
+                for d in cur:
+                    if d.name == use.name:
+                        chains.setdefault(d, []).append(use)
+            for d in _item_defs(item, i, block.bid):
+                cur = {x for x in cur if x.name != d.name}
+                cur.add(d)
+    return chains

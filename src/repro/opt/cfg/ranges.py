@@ -1,0 +1,360 @@
+"""Interval analysis over the CFG and bounds-check elimination.
+
+The analysis propagates integer value intervals for locals (with the
+standard widening to keep loops finite) plus statically-known array
+lengths, which come from two places:
+
+* the captured object graph — snapshot arrays carry their element count
+  in ``ArrayShape.length``, and lengths are part of the specialization
+  digest, so they are genuine compile-time constants of this program;
+* ``wj.zeros(elem, N)`` allocations with a constant size.
+
+``bce_func`` then re-walks every block and marks each ``ArrayLoad`` /
+``ArrayStore`` whose index interval provably lies in ``[0, len)`` with
+``bounds_ok=True``; both backends skip the ``REPRO_BOUNDS`` guard for
+marked accesses.  The proof is per-access and monotone — an access that
+cannot be proven simply keeps its guard — so the pass never changes
+observable behavior, it only removes provably-dead checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend import ir
+from repro.frontend.shapes import ArrayShape
+from repro.lang import types as _t
+from repro.obs import metrics as _metrics
+from repro.opt.cfg.builder import (
+    CondEval, LoopBind, RangeEval, build_cfg, item_exprs,
+)
+from repro.opt.cfg.dataflow import DataflowAnalysis, solve
+
+__all__ = ["Interval", "bce_func"]
+
+_M = _metrics.registry()
+
+#: bounds this far out behave as infinite — keeps interval arithmetic
+#: safely inside i64 (no translated-time wraparound can fake a proof)
+_BIG = 1 << 62
+
+#: widening kicks in after this many visits to one block
+_WIDEN_AFTER = 3
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``None`` bounds mean unbounded."""
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def is_top(self) -> bool:
+        """True when nothing is known in either direction."""
+        return self.lo is None and self.hi is None
+
+    def clamp(self) -> "Interval":
+        """Drop bounds too large to trust under i64 arithmetic."""
+        lo = self.lo if self.lo is not None and -_BIG < self.lo < _BIG else None
+        hi = self.hi if self.hi is not None and -_BIG < self.hi < _BIG else None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both."""
+        lo = (None if self.lo is None or other.lo is None
+              else min(self.lo, other.lo))
+        hi = (None if self.hi is None or other.hi is None
+              else max(self.hi, other.hi))
+        return Interval(lo, hi)
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = (None if self.lo is None or other.lo is None
+              else self.lo + other.lo)
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi + other.hi)
+        return Interval(lo, hi).clamp()
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo = (None if self.lo is None or other.hi is None
+              else self.lo - other.hi)
+        hi = (None if self.hi is None or other.lo is None
+              else self.hi - other.lo)
+        return Interval(lo, hi).clamp()
+
+    def neg(self) -> "Interval":
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        ).clamp()
+
+    def mul(self, other: "Interval") -> "Interval":
+        if None in (self.lo, self.hi, other.lo, other.hi):
+            # partial-knowledge products only stay bounded in easy cases;
+            # be conservative rather than enumerate sign combinations
+            if (self.lo is not None and self.lo >= 0
+                    and other.lo is not None and other.lo >= 0):
+                return Interval(0, None)
+            return TOP
+        prods = [self.lo * other.lo, self.lo * other.hi,
+                 self.hi * other.lo, self.hi * other.hi]
+        return Interval(min(prods), max(prods)).clamp()
+
+    def floordiv_const(self, d: int) -> "Interval":
+        if d <= 0:
+            return TOP
+        lo = None if self.lo is None else self.lo // d
+        hi = None if self.hi is None else self.hi // d
+        return Interval(lo, hi).clamp()
+
+    def mod_const(self, d: int) -> "Interval":
+        if d <= 0:
+            return TOP
+        # Python % with a positive divisor is always in [0, d)
+        if (self.lo is not None and self.hi is not None
+                and 0 <= self.lo and self.hi < d):
+            return Interval(self.lo, self.hi)
+        return Interval(0, d - 1)
+
+    def within(self, lo: int, hi: int) -> bool:
+        """True when every value of the interval lies in ``[lo, hi]``."""
+        return (self.lo is not None and self.hi is not None
+                and self.lo >= lo and self.hi <= hi)
+
+
+TOP = Interval()
+
+_INT_TYPES = None
+
+
+def _is_int_ty(ty) -> bool:
+    global _INT_TYPES
+    if _INT_TYPES is None:
+        _INT_TYPES = tuple(
+            t for t in (getattr(_t, n, None) for n in ("I32", "I64", "BOOL"))
+            if t is not None)
+    return ty in _INT_TYPES
+
+
+# ---------------------------------------------------------------------------
+# state: var intervals + known array lengths
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _State:
+    """Immutable per-program-point facts (var intervals, array lengths)."""
+
+    vars: tuple          # sorted tuple of (name, Interval)
+    lens: tuple          # sorted tuple of (name, int)
+
+    @staticmethod
+    def make(vars_d: dict, lens_d: dict) -> "_State":
+        return _State(tuple(sorted(vars_d.items())),
+                      tuple(sorted(lens_d.items())))
+
+    def to_dicts(self):
+        return dict(self.vars), dict(self.lens)
+
+
+def _join_states(a: _State, b: _State) -> _State:
+    av, al = a.to_dicts()
+    bv, bl = b.to_dicts()
+    vars_d = {}
+    for name in av.keys() & bv.keys():
+        j = av[name].hull(bv[name])
+        if not j.is_top():
+            vars_d[name] = j
+    lens_d = {n: av_len for n, av_len in al.items()
+              if bl.get(n) == av_len}
+    return _State.make(vars_d, lens_d)
+
+
+def _known_length(arr: ir.Expr, lens: dict) -> Optional[int]:
+    """Statically-known element count of the array ``arr`` evaluates to."""
+    shape = getattr(arr, "shape", None)
+    if isinstance(shape, ArrayShape) and shape.length is not None:
+        return shape.length
+    if isinstance(arr, ir.LocalRef):
+        return lens.get(arr.name)
+    return None
+
+
+def _eval(e: ir.Expr, vars_d: dict, lens_d: dict) -> Interval:
+    """Interval of an integer-valued expression under the current facts."""
+    if isinstance(e, ir.Const):
+        if isinstance(e.value, bool):
+            return Interval(int(e.value), int(e.value))
+        if isinstance(e.value, int):
+            return Interval(e.value, e.value).clamp()
+        return TOP
+    if isinstance(e, ir.LocalRef):
+        return vars_d.get(e.name, TOP)
+    if isinstance(e, ir.ArrayLen):
+        n = _known_length(e.arr, lens_d)
+        if n is not None:
+            return Interval(n, n)
+        return Interval(0, None)  # lengths are never negative
+    if isinstance(e, ir.UnaryOp):
+        if e.op == "-":
+            return _eval(e.operand, vars_d, lens_d).neg()
+        if e.op == "not":
+            return Interval(0, 1)
+        return TOP
+    if isinstance(e, ir.BinOp):
+        if not _is_int_ty(e.ty):
+            return TOP
+        left = _eval(e.left, vars_d, lens_d)
+        right = _eval(e.right, vars_d, lens_d)
+        if e.op == "+":
+            return left.add(right)
+        if e.op == "-":
+            return left.sub(right)
+        if e.op == "*":
+            return left.mul(right)
+        if e.op in ("//", "%"):
+            d = e.right
+            if (isinstance(d, ir.Const) and isinstance(d.value, int)
+                    and not isinstance(d.value, bool) and d.value > 0):
+                if e.op == "//":
+                    return left.floordiv_const(d.value)
+                return left.mod_const(d.value)
+        return TOP
+    if isinstance(e, (ir.Compare, ir.BoolOp)):
+        return Interval(0, 1)
+    return TOP
+
+
+def _bind_interval(loop: ir.ForRange, vars_d: dict, lens_d: dict) -> Interval:
+    """Interval of the loop variable over all iterations of ``loop``."""
+    start = _eval(loop.start, vars_d, lens_d)
+    stop = _eval(loop.stop, vars_d, lens_d)
+    step = loop.step
+    if step is None:
+        step_iv = Interval(1, 1)
+    else:
+        step_iv = _eval(step, vars_d, lens_d)
+    if step_iv.lo is not None and step_iv.lo >= 1:
+        # ascending: values in [start, stop-1]
+        hi = None if stop.hi is None else stop.hi - 1
+        return Interval(start.lo, hi).clamp()
+    if step_iv.hi is not None and step_iv.hi <= -1:
+        # descending: values in [stop+1, start]
+        lo = None if stop.lo is None else stop.lo + 1
+        return Interval(lo, start.hi).clamp()
+    # unknown sign: hull of both cases
+    asc_hi = None if stop.hi is None else stop.hi - 1
+    desc_lo = None if stop.lo is None else stop.lo + 1
+    return Interval(start.lo, asc_hi).hull(Interval(desc_lo, start.hi)).clamp()
+
+
+class _RangeAnalysis(DataflowAnalysis):
+    """Forward interval analysis over one function's CFG."""
+
+    direction = "forward"
+
+    def boundary(self):
+        return _State.make({}, {})
+
+    def join(self, a, b):
+        return _join_states(a, b)
+
+    def transfer(self, block, state):
+        vars_d, lens_d = state.to_dicts()
+        for item in block.stmts:
+            _transfer_item(item, vars_d, lens_d)
+        return _State.make(vars_d, lens_d)
+
+    def widen(self, old, new, visits):
+        if visits <= _WIDEN_AFTER:
+            return new
+        ov, ol = old.to_dicts()
+        nv, nl = new.to_dicts()
+        widened = {}
+        for name, niv in nv.items():
+            oiv = ov.get(name)
+            if oiv is None:
+                continue  # new fact while widening: drop it (stabilize)
+            lo = niv.lo if (oiv.lo is not None and niv.lo == oiv.lo) else None
+            hi = niv.hi if (oiv.hi is not None and niv.hi == oiv.hi) else None
+            if lo is not None or hi is not None:
+                widened[name] = Interval(lo, hi)
+        lens_d = {n: v for n, v in nl.items() if ol.get(n) == v}
+        return _State.make(widened, lens_d)
+
+
+def _transfer_item(item, vars_d: dict, lens_d: dict) -> None:
+    """Update the fact dicts in place for one block item."""
+    if isinstance(item, LoopBind):
+        loop = item.loop
+        vars_d[loop.var] = _bind_interval(loop, vars_d, lens_d)
+        return
+    if isinstance(item, (ir.LocalDecl, ir.Assign)):
+        value = item.value
+        # integer facts
+        if _is_int_ty(getattr(value, "ty", None)):
+            iv = _eval(value, vars_d, lens_d)
+            if iv.is_top():
+                vars_d.pop(item.name, None)
+            else:
+                vars_d[item.name] = iv
+        else:
+            vars_d.pop(item.name, None)
+        # array-length facts
+        n = _known_length(value, lens_d)
+        if n is None and isinstance(value, ir.IntrinsicCall) \
+                and value.key == "wj.zeros" and value.args:
+            size = value.args[0]
+            if (isinstance(size, ir.Const) and isinstance(size.value, int)
+                    and not isinstance(size.value, bool)
+                    and size.value >= 0):
+                n = size.value
+        if n is not None:
+            lens_d[item.name] = n
+        else:
+            lens_d.pop(item.name, None)
+
+
+# ---------------------------------------------------------------------------
+# the BCE pass
+# ---------------------------------------------------------------------------
+
+def _mark_item(item, vars_d: dict, lens_d: dict) -> int:
+    """Mark provably-in-bounds accesses reachable from ``item``."""
+    n = 0
+    for root in item_exprs(item):
+        for e in ir.walk_exprs(root):
+            if isinstance(e, ir.ArrayLoad) and not e.bounds_ok:
+                length = _known_length(e.arr, lens_d)
+                if length is not None and _eval(
+                        e.index, vars_d, lens_d).within(0, length - 1):
+                    e.bounds_ok = True
+                    n += 1
+    if isinstance(item, ir.ArrayStore) and not item.bounds_ok:
+        length = _known_length(item.arr, lens_d)
+        if length is not None and _eval(
+                item.index, vars_d, lens_d).within(0, length - 1):
+            item.bounds_ok = True
+            n += 1
+    return n
+
+
+def bce_func(f: ir.FuncIR, ctx=None) -> int:
+    """Bounds-check elimination: mark provably-in-bounds array accesses.
+
+    Returns the number of accesses newly marked ``bounds_ok`` (the pass's
+    rewrite count).  Also feeds the ``bce.checks_elided`` counter.
+    """
+    cfg = build_cfg(f)
+    states = solve(cfg, _RangeAnalysis())
+    n = 0
+    for block in cfg.blocks:
+        in_state = states[block.bid][0]
+        if in_state is None:
+            continue  # unreachable
+        vars_d, lens_d = in_state.to_dicts()
+        for item in block.stmts:
+            n += _mark_item(item, vars_d, lens_d)
+            _transfer_item(item, vars_d, lens_d)
+    if n:
+        _M.counter("bce.checks_elided").inc(n)
+    return n

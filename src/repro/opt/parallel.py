@@ -320,7 +320,16 @@ class _Scope:
                     return ("param", e.name)
                 return None
             if e.name in self.body_assigned:
-                return None  # rebound inside the loop: identity unstable
+                # rebound inside the loop: identity is unstable UNLESS the
+                # binding already executed this iteration and resolved to a
+                # stable root (LICM/inliner temps aliasing an outer array;
+                # field stores are disqualifiers in this walk, so member
+                # and outer-var roots cannot change mid-loop)
+                if e.name in self.defined:
+                    root = self.arrenv.get(e.name)
+                    if root is not None:
+                        return root
+                return None
             key = ("var", e.name)
             self.handles[key] = ("var", e.name)
             slot = e.shape.slot if isinstance(e.shape, ArrayShape) else None
@@ -937,6 +946,9 @@ class _LoopCheck:
                     scope.env[s.name] = None
                 else:
                     scope.env[s.name] = _affine(s.value, scope)
+                if isinstance(getattr(s.value, "shape", None), ArrayShape):
+                    scope.arrenv[s.name] = (
+                        None if in_branch else scope.arr_root(s.value))
                 scope.defined.add(s.name)
             elif isinstance(s, ir.ArrayStore):
                 self._collect(scope, s.index)

@@ -32,6 +32,8 @@ from repro.frontend.verify import verify_func
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
 from repro.opt import passes as _p
+from repro.opt.cfg import inline as _cfg_inline
+from repro.opt.cfg import ranges as _cfg_ranges
 
 __all__ = [
     "PASS_ORDER",
@@ -42,16 +44,21 @@ __all__ = [
     "pipeline_token",
 ]
 
-#: canonical pass order — fold first (exposes constants), then licm
-#: (hoists before cse can bind block-local temps), then cse, then dce
-#: (cleans up stores the earlier passes made dead)
-PASS_ORDER = ("fold", "licm", "cse", "dce")
+#: canonical pass order — inline first (splices callee bodies so every
+#: later pass sees across former call boundaries), fold (exposes
+#: constants), then licm (hoists before cse can bind block-local temps),
+#: then cse, then dce (cleans up stores the earlier passes made dead),
+#: and bce last (the range analysis profits from folded bounds and can
+#: see through the __licm/__cse temps)
+PASS_ORDER = ("inline", "fold", "licm", "cse", "dce", "bce")
 
 _PASS_FNS = {
+    "inline": _cfg_inline.inline_func,
     "fold": _p.fold_func,
     "licm": _p.licm_func,
     "cse": _p.cse_func,
     "dce": _p.dce_func,
+    "bce": _cfg_ranges.bce_func,
 }
 
 _ALL_SPELLINGS = frozenset({"", "1", "true", "yes", "on", "all", "default"})
@@ -104,6 +111,9 @@ class Pipeline:
             name: {"runs": 0, "rewrites": 0, "seconds": 0.0}
             for name in self.passes
         }
+        #: per-function rewrite counts: {pass: {symbol: n}} — surfaced in
+        #: JitReport.opt_stats["bce"] / ["inline"]
+        self.func_stats: dict[str, dict[str, int]] = {}
 
     def run_func(self, func_ir) -> None:
         """Apply every configured pass to ``func_ir`` in place."""
@@ -125,6 +135,9 @@ class Pipeline:
             st["runs"] += 1
             st["rewrites"] += n
             st["seconds"] += dt
+            if n:
+                per = self.func_stats.setdefault(name, {})
+                per[func_ir.symbol] = per.get(func_ir.symbol, 0) + n
             _M.counter(f"opt.{name}.rewrites").inc(n)
             _M.histogram(f"opt.{name}.seconds").observe(dt)
 

@@ -89,6 +89,7 @@ def collect() -> dict:
         base = _translate(method, call_args, app, "0")
         opt = _translate(method, call_args, app, "1")
         plan = analyze_program(opt.program)
+        stats = opt.report.opt_stats or {}
         out[name] = {
             "before": {
                 "ir_stmts": _count_ir_stmts(base.program),
@@ -98,7 +99,9 @@ def collect() -> dict:
                 "ir_stmts": _count_ir_stmts(opt.program),
                 "c_stmts": _count_c_stmts(opt.program),
             },
-            "passes": (opt.report.opt_stats or {}).get("pipeline", {}),
+            "passes": stats.get("pipeline", {}),
+            "bce": stats.get("bce", {}),
+            "inline": stats.get("inline", {}),
             "parallel": {
                 "loops_seen": plan.stats["loops_seen"],
                 "loops_parallel": plan.stats["loops_parallel"],
@@ -129,6 +132,18 @@ def render(data: dict) -> str:
             lines.append(
                 f"  pass {pname:4s}     : {st['rewrites']:4d} rewrites "
                 f"over {st['runs']} function(s)"
+            )
+        bce = d.get("bce") or {}
+        if bce:
+            lines.append(
+                f"  bounds checks : {sum(bce.values()):5d} elided across "
+                f"{len(bce)} function(s)"
+            )
+        inl = d.get("inline") or {}
+        if inl:
+            lines.append(
+                f"  inlined calls : {sum(inl.values()):5d} across "
+                f"{len(inl)} function(s)"
             )
         par = d.get("parallel")
         if par is not None:

@@ -63,6 +63,7 @@ class TestShippedArtifacts:
             "DESIGN.md",
             "EXPERIMENTS.md",
             "docs/CACHING.md",
+            "docs/CFG.md",
             "docs/COMPILE_FARM.md",
             "docs/FUZZING.md",
             "docs/GUEST_LANGUAGE.md",
@@ -88,6 +89,6 @@ class TestShippedArtifacts:
     def test_benchmarks_cover_every_experiment(self):
         names = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
         for exp in ("fig03", "fig04", "fig05", "fig06", "fig07", "fig09",
-                    "fig10", "fig11", "fig12", "fig17", "fig18",
-                    "table3", "table1_2", "fig13_16"):
+                    "fig10", "fig11", "fig12", "fig17", "fig18", "fig19",
+                    "fig20", "fig21", "table3", "table1_2", "fig13_16"):
             assert any(exp in n for n in names), exp

