@@ -751,7 +751,10 @@ def clear() -> int:
     The count is exact under concurrency: an entry only counts when *this*
     process unlinked its ``.json`` commit marker, so two workers clearing
     at once report counts that sum to the number of entries that existed.
-    Lock files and ``*.tmp`` orphans (any age) are removed as well."""
+    Lock files and ``*.tmp`` orphans (any age) are removed as well, and so
+    is a *dead* compile daemon's debris (``jitd.sock``/``jitd.pid``/
+    ``jitd.lock``) — a live daemon holds ``jitd.lock``, which protects its
+    files from the sweep."""
     clear_memory()
     removed = 0
     root = cache_dir()
@@ -767,7 +770,40 @@ def clear() -> int:
                 continue
             if entry and p.suffix == ".json":
                 removed += 1
+        _sweep_dead_daemon(root)
     return removed
+
+
+def _sweep_dead_daemon(root: Path) -> None:
+    """Remove a crashed compile daemon's leftovers.  The daemon holds its
+    pidfile lock for life (kernel-released on any death), so winning a
+    zero-timeout acquisition proves no daemon is serving this directory;
+    a live daemon keeps the lock and its files stay untouched."""
+    from repro.jit.locks import FileLock
+
+    from repro.jit import locks as _locks
+
+    guard = FileLock(root / "jitd.lock")
+    if not guard.acquire(timeout=0):
+        return
+    try:
+        for name in ("jitd.sock", "jitd.pid"):
+            try:
+                (root / name).unlink()
+            except OSError:
+                pass
+        if _locks._fcntl is not None:
+            # flock mode: release() only closes the fd, so drop the file
+            # while still holding — a daemon starting in this window makes
+            # itself a fresh lock file and never collides with ours.  (In
+            # O_EXCL mode release() itself unlinks, and doing it here too
+            # could destroy that fresh file.)
+            try:
+                guard.path.unlink()
+            except OSError:
+                pass
+    finally:
+        guard.release()
 
 
 def stats() -> dict:

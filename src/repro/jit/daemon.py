@@ -1,0 +1,541 @@
+"""Resident compile daemon: one warm process owns translate+compile.
+
+The compile farm (docs/COMPILE_FARM.md) coordinates a fleet through lock
+files, which is enough for processes sharing a filesystem — but every
+leader still hosts its own compiler, pays its own translator warmup, and
+keeps a private in-memory hot tier.  This module is the next step the
+ROADMAP left open: a **per-cache-dir Unix-domain-socket compile server**
+(``repro jitd {start,stop,status}``) that owns translation and
+compilation for its cache directory, the same shape as a production
+inference stack's compile/kernel service — one resident owns the
+compiler and the hot tier, clients speak a small RPC and degrade
+gracefully (docs/COMPILE_DAEMON.md).
+
+Protocol: length-prefixed JSON.  Every message is a 4-byte big-endian
+length followed by one UTF-8 JSON object.  Requests carry the protocol
+version (``"v"``); a version-skewed daemon answers ``version-skew`` and
+the client falls back to the lock-file farm path.  Operations:
+
+* ``ping``     — liveness + version handshake (pid, uptime);
+* ``probe``    — is a digest resident in the daemon's memory/disk tier;
+* ``stats``    — daemon request counters + its ``service.stats()`` view;
+* ``compile``  — translate+compile one program into the shared disk
+  tier.  The job arrives either as a warmup-manifest recipe (``entry``,
+  JSON all the way down) or as a pickled ``(receiver, method, args)``
+  capture (``job``, base64 — what the in-process service layer sends,
+  see :mod:`repro.jit.dclient`); the response carries the stored digest
+  so the client can detect configuration skew before trusting it;
+* ``shutdown`` — graceful stop (also triggered by idleness).
+
+Exactly-one-daemon is the pidfile lock: the server holds a
+:class:`~repro.jit.locks.FileLock` on ``jitd.lock`` for its lifetime, so
+two daemons racing one cache directory resolve to one winner and the
+kernel releases the lock if the daemon is killed ``-9`` — a stale socket
+file can never wedge the next start.  The daemon's own compiles go
+through the ordinary service layer, so it keeps daemon-side single-flight
+(N clients, one cold key, one compile) and still takes the per-entry farm
+locks, coexisting with lock-file-only fleets on the same directory.
+
+Environment:
+
+* ``REPRO_JITD_IDLE_S``          — idle self-shutdown after this many
+  seconds without a request (default 300; 0 disables);
+* ``REPRO_JITD_COMPILE_DELAY_S`` — chaos/test hook: sleep this long
+  before each compile (lets tests kill the daemon mid-compile).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.jit.locks import FileLock
+
+__all__ = [
+    "DaemonAlreadyRunning",
+    "JitDaemon",
+    "PROTOCOL_VERSION",
+    "daemon_log_path",
+    "pidfile_path",
+    "read_message",
+    "recv_message",
+    "send_message",
+    "socket_path",
+    "start",
+    "status",
+    "stop",
+]
+
+#: bumped on any wire-visible change; clients refuse to trust a daemon
+#: answering with a different version and degrade to the farm path
+PROTOCOL_VERSION = 1
+
+#: refuse absurd frames before allocating for them (a stray client
+#: writing HTTP at our socket must not OOM the daemon)
+_MAX_MESSAGE = 256 * 1024 * 1024
+
+#: AF_UNIX sun_path is ~108 bytes; past this the socket moves to tempdir
+_SOCKET_PATH_MAX = 96
+
+
+class DaemonAlreadyRunning(RuntimeError):
+    """Another daemon holds this cache directory's pidfile lock."""
+
+
+# ---------------------------------------------------------------------------
+# paths
+# ---------------------------------------------------------------------------
+
+def socket_path(root) -> Path:
+    """The daemon socket for cache dir ``root`` — deterministic, so any
+    client derives it without coordination.  Lives inside the cache dir
+    unless that would overflow ``sun_path``; then it moves to the temp
+    dir under a digest of the (resolved) cache dir."""
+    root = Path(root)
+    path = root / "jitd.sock"
+    if len(str(path)) <= _SOCKET_PATH_MAX:
+        return path
+    digest = hashlib.sha256(str(root.resolve()).encode()).hexdigest()[:16]
+    return Path(tempfile.gettempdir()) / f"repro-jitd-{digest}.sock"
+
+
+def pidfile_path(root) -> Path:
+    """The daemon pidfile (JSON: pid, socket, protocol, start time)."""
+    return Path(root) / "jitd.pid"
+
+
+def _lockfile_path(root) -> Path:
+    return Path(root) / "jitd.lock"
+
+
+def daemon_log_path(root) -> Path:
+    """Where a detached daemon writes its stdout/stderr."""
+    return Path(root) / "jitd.log"
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+def send_message(sock: socket.socket, obj: dict) -> None:
+    """Write one length-prefixed JSON message."""
+    blob = json.dumps(obj, sort_keys=True).encode()
+    sock.sendall(struct.pack(">I", len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed mid-message")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one length-prefixed JSON message (raises ConnectionError on
+    EOF, ValueError on an oversized or non-JSON frame)."""
+    (length,) = struct.unpack(">I", _recv_exact(sock, 4))
+    if length > _MAX_MESSAGE:
+        raise ValueError(f"frame of {length} bytes exceeds protocol limit")
+    return json.loads(_recv_exact(sock, length).decode())
+
+
+#: alias kept for symmetry with :func:`send_message` at call sites that
+#: read without a socket-specific wrapper
+read_message = recv_message
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+
+def _idle_timeout_s() -> float:
+    from repro.env import env_float
+
+    return env_float("REPRO_JITD_IDLE_S", 300.0)
+
+
+def _compile_delay_s() -> float:
+    from repro.env import env_float
+
+    return env_float("REPRO_JITD_COMPILE_DELAY_S", 0.0)
+
+
+class JitDaemon:
+    """One resident compile server bound to one cache directory.
+
+    Lifecycle::
+
+        d = JitDaemon(cache_dir)
+        d.bind()            # wins (or loses) the pidfile lock, binds UDS
+        d.serve_forever()   # blocks; returns after shutdown/idle timeout
+
+    ``bind`` raises :class:`DaemonAlreadyRunning` when another live
+    daemon owns the directory.  The server answers each connection on its
+    own thread; compiles go through :func:`repro.jit.engine.jit`, so the
+    daemon's in-memory cache tier is the fleet's shared hot tier and
+    daemon-side single-flight collapses N concurrent clients on one cold
+    key into one compile.
+    """
+
+    def __init__(self, root, *, idle_timeout_s: Optional[float] = None):
+        self.root = Path(root)
+        self.sock_path = socket_path(self.root)
+        self.pid_path = pidfile_path(self.root)
+        self.lock = FileLock(_lockfile_path(self.root))
+        self.idle_timeout_s = (idle_timeout_s if idle_timeout_s is not None
+                               else _idle_timeout_s())
+        self.started = time.time()
+        self._sock: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._state = threading.Lock()  # guards the fields below
+        self._last_activity = time.monotonic()
+        self._inflight = 0
+        self._requests: dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self) -> None:
+        """Win the pidfile lock and bind the socket (or raise)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        if not self.lock.acquire(timeout=0):
+            raise DaemonAlreadyRunning(
+                f"another daemon holds {self.lock.path}")
+        # we own the directory: any leftover socket is a dead daemon's
+        try:
+            self.sock_path.unlink()
+        except OSError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.bind(str(self.sock_path))
+        except OSError:
+            sock.close()
+            self.lock.release()
+            raise
+        sock.listen(64)
+        sock.settimeout(0.2)  # accept-loop wakeup for idle/stop checks
+        self._sock = sock
+        payload = {
+            "pid": os.getpid(),
+            "socket": str(self.sock_path),
+            "v": PROTOCOL_VERSION,
+            "started": self.started,
+            "cache_dir": str(self.root),
+        }
+        self.pid_path.write_text(json.dumps(payload, sort_keys=True) + "\n")
+
+    def serve_forever(self) -> None:
+        """Accept loop; returns after :meth:`close` / shutdown op / idle
+        timeout.  Each connection is answered on its own thread."""
+        assert self._sock is not None, "bind() first"
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    if self._idle_expired():
+                        break
+                    continue
+                except OSError:
+                    break
+                t = threading.Thread(target=self._handle, args=(conn,),
+                                     daemon=True)
+                t.start()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Tear down socket, pidfile, and the held pidfile lock."""
+        self._stop.set()
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for p in (self.sock_path, self.pid_path, self.lock.path):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+        self.lock.release()
+
+    def _idle_expired(self) -> bool:
+        if self.idle_timeout_s <= 0:
+            return False
+        with self._state:
+            if self._inflight:
+                return False
+            idle = time.monotonic() - self._last_activity
+        return idle > self.idle_timeout_s
+
+    # -- request handling --------------------------------------------------
+
+    def _handle(self, conn: socket.socket) -> None:
+        with self._state:
+            self._inflight += 1
+            self._last_activity = time.monotonic()
+        try:
+            conn.settimeout(600.0)
+            req = recv_message(conn)
+            resp = self._dispatch(req)
+            send_message(conn, resp)
+            if req.get("op") == "shutdown" and resp.get("ok"):
+                self._stop.set()
+        except (ConnectionError, ValueError, OSError):
+            pass  # client went away or spoke garbage: nothing to answer
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._state:
+                self._inflight -= 1
+                self._last_activity = time.monotonic()
+
+    def _dispatch(self, req: dict) -> dict:
+        op = str(req.get("op", ""))
+        with self._state:
+            self._requests[op] = self._requests.get(op, 0) + 1
+        if req.get("v") != PROTOCOL_VERSION:
+            return {"ok": False, "error": "version-skew",
+                    "v": PROTOCOL_VERSION}
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}",
+                    "v": PROTOCOL_VERSION}
+        try:
+            resp = handler(req)
+        except Exception as exc:  # noqa: BLE001 - errors cross the wire
+            resp = {"ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+        resp.setdefault("ok", True)
+        resp["v"] = PROTOCOL_VERSION
+        return resp
+
+    def _op_ping(self, req: dict) -> dict:
+        return {"pid": os.getpid(), "uptime_s": time.time() - self.started}
+
+    def _op_shutdown(self, req: dict) -> dict:
+        return {"pid": os.getpid()}
+
+    def _op_probe(self, req: dict) -> dict:
+        from repro.jit import cache as code_cache
+
+        digest = str(req.get("digest", ""))
+        with code_cache._TIER_LOCK:
+            in_memory = digest in code_cache._MEMORY
+        jpath = code_cache.cache_dir() / f"{digest}.json"
+        return {"digest": digest, "memory": in_memory,
+                "disk": jpath.is_file()}
+
+    def _op_stats(self, req: dict) -> dict:
+        from repro.jit import cache as code_cache
+        from repro.jit import service
+        from repro.obs import metrics as _metrics
+
+        with self._state:
+            requests = dict(self._requests)
+            inflight = self._inflight
+        cstats = code_cache.stats()
+        return {
+            "pid": os.getpid(),
+            "uptime_s": time.time() - self.started,
+            "cache_dir": str(self.root),
+            "idle_timeout_s": self.idle_timeout_s,
+            "requests": requests,
+            "inflight": inflight,
+            "service": service.stats(),
+            "cache": {"memory_entries": cstats["memory_entries"],
+                      "disk_entries": cstats["disk_entries"],
+                      "disk_bytes": cstats["disk_bytes"]},
+            "metrics": _metrics.registry().values("jit."),
+        }
+
+    def _op_compile(self, req: dict) -> dict:
+        from repro.backends.base import OptLevel
+        from repro.jit.engine import jit
+
+        delay = _compile_delay_s()
+        if delay > 0:  # chaos hook: hold the compile open (tests kill us)
+            time.sleep(delay)
+        t0 = time.perf_counter()
+        if "job" in req:
+            receiver, method, args = pickle.loads(
+                base64.b64decode(req["job"]))
+            backend = str(req.get("backend", "auto"))
+            opt = OptLevel(req.get("opt", "full"))
+        elif "entry" in req:
+            from repro.jit.warmup import ManifestEntry
+
+            entry = ManifestEntry.from_dict(req["entry"])
+            receiver = entry.build_receiver()
+            method, args = entry.method, entry.args
+            backend, opt = entry.backend, OptLevel(entry.opt)
+        else:
+            return {"ok": False, "error": "compile needs 'job' or 'entry'"}
+        code = jit(receiver, method, *args, backend=backend, opt=opt)
+        r = code.report
+        expect = req.get("expect_digest")
+        if expect and r.key_digest and expect != r.key_digest:
+            # the daemon's environment keyed this program differently
+            # (REPRO_OPT_PASSES etc. diverged from the client's): the
+            # entry it stored is useless to this client — say so rather
+            # than let the client trust a phantom hit
+            return {"ok": False, "error": "digest-skew",
+                    "digest": r.key_digest, "expected": expect}
+        return {
+            "digest": r.key_digest,
+            "cache_hit": r.cache_hit,
+            "tier": r.cache_tier,
+            "translate_s": r.translate_s,
+            "backend_compile_s": r.backend_compile_s,
+            "elapsed_s": time.perf_counter() - t0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# control-plane helpers (the `repro jitd` CLI and client auto-spawn)
+# ---------------------------------------------------------------------------
+
+def _preload_compiler() -> None:
+    """Import the translator/back-end stack now, so the first client's
+    compile RPC does not pay the daemon's module-import bill — the whole
+    point of a *warm* resident is that this cost is off the request path."""
+    import repro.backends.pybackend  # noqa: F401
+    import repro.frontend.objectgraph  # noqa: F401
+    import repro.jit.engine  # noqa: F401
+    import repro.jit.service  # noqa: F401
+
+
+def serve(root, *, idle_timeout_s: Optional[float] = None,
+          announce=print) -> int:
+    """Run a daemon in this process (the ``repro jitd serve`` entry).
+
+    Returns the exit code: 0 after a clean shutdown, 1 when another
+    daemon already owns the directory."""
+    root = Path(root)
+    # the daemon serves THIS directory no matter what env the spawner
+    # leaked in, and never tries to speak to itself through a client
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    os.environ["REPRO_JITD"] = "0"
+    daemon = JitDaemon(root, idle_timeout_s=idle_timeout_s)
+    try:
+        daemon.bind()
+    except DaemonAlreadyRunning as exc:
+        if announce:
+            announce(f"jitd: {exc}")
+        return 1
+    # bind first (lose the pidfile race as early as possible), but warm
+    # the compiler before answering: start() waits on the first ping, so
+    # a just-started daemon is import-warm by the time clients see it
+    _preload_compiler()
+    if announce:
+        announce(f"jitd: pid {os.getpid()} serving {root} "
+                 f"on {daemon.sock_path} "
+                 f"(idle timeout {daemon.idle_timeout_s:.0f}s)")
+    stopper = lambda *_sig: daemon._stop.set()  # noqa: E731
+    try:
+        signal.signal(signal.SIGTERM, stopper)
+        signal.signal(signal.SIGINT, stopper)
+    except ValueError:
+        pass  # not the main thread (tests): rely on shutdown op
+    daemon.serve_forever()
+    if announce:
+        announce("jitd: stopped")
+    return 0
+
+
+def _request(root, payload: dict, *, timeout: float = 5.0) -> dict:
+    """One control-plane round-trip (raises OSError family on failure)."""
+    payload = dict(payload, v=PROTOCOL_VERSION)
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path(root)))
+        send_message(sock, payload)
+        return recv_message(sock)
+
+
+def start(root, *, idle_timeout_s: Optional[float] = None,
+          wait_s: float = 10.0) -> dict:
+    """Spawn a detached daemon for ``root`` and wait until it answers
+    ping.  Idempotent: an already-live daemon is returned as-is.  Raises
+    ``TimeoutError`` when nothing is serving by the deadline."""
+    alive = status(root)
+    if alive is not None:
+        return alive
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    cmd = [sys.executable, "-m", "repro", "jitd", "serve", "--dir", str(root)]
+    if idle_timeout_s is not None:
+        cmd += ["--idle", str(idle_timeout_s)]
+    env = dict(os.environ)
+    # the daemon must import whatever guest classes clients pickle at it:
+    # hand it this process's whole import path ('' means cwd — pin it)
+    env["PYTHONPATH"] = os.pathsep.join(p or os.getcwd() for p in sys.path)
+    with open(daemon_log_path(root), "ab") as log:
+        subprocess.Popen(cmd, stdin=subprocess.DEVNULL, stdout=log,
+                         stderr=log, env=env, start_new_session=True)
+    deadline = time.monotonic() + wait_s
+    delay = 0.01
+    while time.monotonic() < deadline:
+        got = status(root)
+        if got is not None:
+            return got
+        time.sleep(delay)
+        delay = min(delay * 2, 0.25)
+    raise TimeoutError(f"daemon for {root} did not come up in {wait_s:.0f}s "
+                       f"(see {daemon_log_path(root)})")
+
+
+def status(root) -> Optional[dict]:
+    """Ping the daemon for ``root``; its ping payload, or None when no
+    live same-protocol daemon answers."""
+    try:
+        resp = _request(root, {"op": "ping"}, timeout=2.0)
+    except (OSError, ValueError, ConnectionError):
+        return None
+    if not resp.get("ok") or resp.get("v") != PROTOCOL_VERSION:
+        return None
+    return resp
+
+
+def stop(root, *, wait_s: float = 5.0) -> bool:
+    """Gracefully stop the daemon for ``root`` (RPC shutdown, then
+    SIGTERM via the pidfile as a fallback).  True when nothing is
+    serving afterwards."""
+    pid = None
+    try:
+        pid = int(json.loads(pidfile_path(root).read_text())["pid"])
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        pass
+    try:
+        _request(root, {"op": "shutdown"}, timeout=2.0)
+    except (OSError, ValueError, ConnectionError):
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except OSError:
+                pass
+    deadline = time.monotonic() + wait_s
+    while time.monotonic() < deadline:
+        if status(root) is None:
+            return True
+        time.sleep(0.05)
+    return status(root) is None

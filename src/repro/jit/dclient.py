@@ -1,0 +1,212 @@
+"""Client for the resident compile daemon (:mod:`repro.jit.daemon`).
+
+The service layer calls :func:`compile_job` from its leader path when
+``REPRO_JITD=1``: instead of compiling locally under the farm's file
+lock, the leader asks the per-cache-dir daemon to compile into the
+shared disk tier, then hydrates the stored entry itself.  The client is
+deliberately paranoid — every failure mode (absent socket, dead daemon,
+version skew, connect/request timeout, mid-compile kill, digest skew)
+surfaces as one exception type, :class:`DaemonError`, and the caller's
+contract is *hard graceful degradation*: catch it, count it, and fall
+back to the lock-file farm path.  The daemon is an accelerator, never a
+dependency.
+
+Transport errors retry with exponential backoff + jitter (bounded by
+``REPRO_JITD_RETRIES``); protocol refusals (version skew, daemon-side
+compile errors, digest skew) do not retry — they are deterministic, so
+the second attempt would only waste the fallback budget.  When the first
+connect fails and auto-spawn is allowed, the client starts a daemon
+itself, serialized through a spawn lock so a stampede of cold clients
+forks one daemon, not N.
+
+Environment:
+
+* ``REPRO_JITD=1``                 — route leader compiles via the daemon;
+* ``REPRO_JITD_AUTOSPAWN``         — spawn on first use (default on);
+* ``REPRO_JITD_CONNECT_TIMEOUT_S`` — per-attempt connect budget (0.5);
+* ``REPRO_JITD_TIMEOUT_S``         — compile RPC budget (600, gcc-sized);
+* ``REPRO_JITD_RETRIES``           — transport retries after the first
+  attempt (2).
+
+See docs/COMPILE_DAEMON.md for the protocol and the failure matrix.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import random
+import socket
+import time
+from pathlib import Path
+
+from repro.jit import daemon as _daemon
+from repro.jit.locks import FileLock
+
+__all__ = [
+    "DaemonError",
+    "compile_entry",
+    "compile_job",
+    "daemon_enabled",
+    "ping",
+    "probe",
+    "request",
+    "stats",
+]
+
+
+class DaemonError(RuntimeError):
+    """Any daemon interaction failure; the caller falls back to the
+    file-lock farm path.  ``reason`` is a short machine-readable tag
+    (``connect``, ``timeout``, ``version-skew``, ``digest-skew``,
+    ``remote-error``, ``spawn``) surfaced on ``JitReport.daemon_fallback``
+    and in the ``jit.daemon_fallbacks`` counter's story."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+
+
+def daemon_enabled() -> bool:
+    """Whether compiles route through the resident daemon
+    (``REPRO_JITD=1``; default off)."""
+    from repro.env import env_flag
+
+    return env_flag("REPRO_JITD", default=False)
+
+
+def _autospawn() -> bool:
+    from repro.env import env_flag
+
+    return env_flag("REPRO_JITD_AUTOSPAWN", default=True)
+
+
+def _connect_timeout_s() -> float:
+    from repro.env import env_float
+
+    return env_float("REPRO_JITD_CONNECT_TIMEOUT_S", 0.5)
+
+
+def _request_timeout_s() -> float:
+    from repro.env import env_float
+
+    return env_float("REPRO_JITD_TIMEOUT_S", 600.0)
+
+
+def _retries() -> int:
+    from repro.env import env_float
+
+    return max(0, int(env_float("REPRO_JITD_RETRIES", 2)))
+
+
+def _roundtrip(root, payload: dict) -> dict:
+    """One request/response on a fresh connection (transport errors
+    raise OSError family; protocol refusals raise DaemonError)."""
+    payload = dict(payload, v=_daemon.PROTOCOL_VERSION)
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(_connect_timeout_s())
+        sock.connect(str(_daemon.socket_path(root)))
+        sock.settimeout(_request_timeout_s())
+        _daemon.send_message(sock, payload)
+        resp = _daemon.recv_message(sock)
+    if not resp.get("ok"):
+        err = str(resp.get("error", "unspecified"))
+        reason = err if err in ("version-skew", "digest-skew") else "remote-error"
+        raise DaemonError(reason, err)
+    if resp.get("v") != _daemon.PROTOCOL_VERSION:
+        raise DaemonError("version-skew", f"daemon spoke v{resp.get('v')}")
+    return resp
+
+
+def _ensure_daemon(root) -> None:
+    """Spawn a daemon for ``root`` if none is serving.  Serialized on a
+    spawn lock: the first cold client forks and waits, the rest of the
+    stampede block briefly and find the socket live."""
+    root = Path(root)
+    spawn_lock = FileLock(root / "jitd.spawn.lock")
+    if not spawn_lock.acquire(timeout=10.0):
+        if _daemon.status(root) is None:
+            raise DaemonError("spawn", "spawn lock busy and no daemon up")
+        return
+    try:
+        _daemon.start(root)
+    except (OSError, TimeoutError) as exc:
+        raise DaemonError("spawn", str(exc)) from exc
+    finally:
+        spawn_lock.release()
+
+
+def request(root, payload: dict, *, spawn: bool = False) -> dict:
+    """Send one request, retrying transport failures with exponential
+    backoff + jitter.  ``spawn=True`` allows auto-starting a daemon after
+    the first failed connect (gated by ``REPRO_JITD_AUTOSPAWN``).  Raises
+    :class:`DaemonError` — transport exceptions never escape."""
+    attempts = _retries() + 1
+    delay = 0.05
+    last: Exception = DaemonError("connect", "no attempt made")
+    for i in range(attempts):
+        try:
+            return _roundtrip(root, payload)
+        except DaemonError as exc:
+            raise exc  # protocol refusal: deterministic, do not retry
+        except socket.timeout as exc:
+            last = DaemonError("timeout", str(exc) or "rpc deadline")
+        except (OSError, ValueError, ConnectionError) as exc:
+            last = DaemonError("connect", f"{type(exc).__name__}: {exc}")
+            if i == 0 and spawn and _autospawn():
+                try:
+                    _ensure_daemon(root)
+                    continue  # daemon confirmed up: retry immediately
+                except DaemonError as spawn_exc:
+                    last = spawn_exc
+        time.sleep(delay * random.uniform(0.5, 1.0))
+        delay = min(delay * 2.0, 1.0)
+    raise last
+
+
+def ping(root) -> dict:
+    """Liveness + version handshake (raises DaemonError when down)."""
+    return request(root, {"op": "ping"})
+
+
+def probe(root, digest: str) -> dict:
+    """Which daemon tiers hold ``digest``: ``{"memory": ..., "disk": ...}``."""
+    return request(root, {"op": "probe", "digest": digest})
+
+
+def stats(root) -> dict:
+    """The daemon's stats view (request counters, its ``service.stats()``,
+    cache tier sizes, ``jit.*`` metric values)."""
+    return request(root, {"op": "stats"})
+
+
+def compile_job(root, receiver, method: str, args, *, backend: str,
+                opt: str, expect_digest: str = "") -> dict:
+    """Ask the daemon to compile ``receiver.method(*args)`` into the
+    shared disk tier; returns the daemon's compile report (digest, tier,
+    phase timings).  The capture crosses as a base64 pickle — the daemon
+    re-snapshots it, so both sides key the program identically unless
+    their configuration skews, which ``expect_digest`` catches.  Raises
+    :class:`DaemonError` on any failure (caller falls back to the farm)."""
+    cls = type(receiver)
+    if getattr(cls, "__module__", "") == "__main__":
+        # pickles fine by reference, but the daemon has its own __main__
+        # and can never import this class — refuse before the round-trip
+        raise DaemonError(
+            "unpicklable",
+            f"{cls.__name__} is defined in __main__; the daemon cannot import it")
+    try:
+        job = base64.b64encode(
+            pickle.dumps((receiver, method, tuple(args)))).decode("ascii")
+    except Exception as exc:  # unpicklable receiver: daemon cannot help
+        raise DaemonError("unpicklable", f"{type(exc).__name__}: {exc}")
+    return request(root, {"op": "compile", "job": job, "backend": backend,
+                          "opt": opt, "expect_digest": expect_digest},
+                   spawn=True)
+
+
+def compile_entry(root, entry: dict, *, expect_digest: str = "") -> dict:
+    """Ask the daemon to compile a warmup-manifest recipe (a
+    ``ManifestEntry.to_dict()`` payload — JSON all the way down)."""
+    return request(root, {"op": "compile", "entry": dict(entry),
+                          "expect_digest": expect_digest}, spawn=True)

@@ -20,7 +20,10 @@ Both strategies acquire by *polling* with a short sleep rather than
 blocking in the kernel: the caller gets a measurable ``waited_s`` (fed to
 the ``jit.farm_*`` metrics), a timeout (the farm degrades to a duplicate
 compile rather than hanging a worker forever), and identical semantics on
-either backend.
+either backend.  The poll interval backs off exponentially with jitter
+(1 ms doubling to a 100 ms cap), so N waiters parked on one long compile
+neither hammer the filesystem in lockstep nor wake in a thundering herd
+when the leader releases.
 
 Lock files are tiny, live next to the entries they guard, and are cleaned
 up by ``cache.clear()``; an unlinked-but-held flock keeps protecting its
@@ -31,6 +34,7 @@ from __future__ import annotations
 
 import errno
 import os
+import random
 import time
 from pathlib import Path
 from typing import Optional
@@ -42,8 +46,11 @@ except ImportError:  # pragma: no cover - non-POSIX hosts only
 
 __all__ = ["FileLock"]
 
-#: how often a waiter re-tries a busy lock (seconds)
-_POLL_S = 0.01
+#: first retry delay for a busy lock (seconds); doubles per miss
+_POLL_MIN_S = 0.001
+
+#: retry-delay ceiling — waiters on a multi-second compile settle here
+_POLL_MAX_S = 0.1
 
 
 def _pid_alive(pid: int) -> bool:
@@ -96,6 +103,23 @@ class FileLock:
         except OSError:
             os.close(fd)
             return False
+        # Split-brain guard: between our open() and flock() the lock file
+        # may have been unlinked (cache eviction drops entry locks) and
+        # re-created by a newcomer.  We would then hold a flock on the
+        # orphaned inode while the newcomer holds one on the live path —
+        # two "holders".  Verify the fd still names the file at self.path;
+        # if not, this acquisition is void: drop it and retry on the live
+        # path.
+        try:
+            st_fd = os.fstat(fd)
+            st_path = os.stat(self.path)
+            current = (st_fd.st_dev == st_path.st_dev
+                       and st_fd.st_ino == st_path.st_ino)
+        except OSError:  # path vanished: we locked an orphan
+            current = False
+        if not current:
+            os.close(fd)
+            return False
         self._fd = fd
         try:  # holder pid is advisory (diagnostics only under flock)
             os.ftruncate(fd, 0)
@@ -106,20 +130,39 @@ class FileLock:
 
     # -- O_EXCL fallback strategy ------------------------------------------
 
-    def _break_stale_excl(self) -> None:
-        """Remove an abandoned O_EXCL lock (dead holder or too old)."""
+    def _read_lock_info(self) -> Optional[tuple[int, int]]:
+        """``(holder pid, mtime_ns)`` of the lock file, or None when it is
+        missing or unreadable.  The pair identifies one specific lock
+        incarnation: any re-creation changes at least the mtime."""
         try:
             st = self.path.stat()
             pid = int(self.path.read_text() or "0")
         except (OSError, ValueError):
+            return None
+        return pid, st.st_mtime_ns
+
+    def _break_stale_excl(self) -> None:
+        """Remove an abandoned O_EXCL lock (dead holder or too old)."""
+        info = self._read_lock_info()
+        if info is None:
             return
+        pid, mtime_ns = info
         dead = pid > 0 and not _pid_alive(pid)
-        expired = (time.time() - st.st_mtime) > self.stale_after
-        if dead or expired:
-            try:
-                self.path.unlink()
-            except OSError:
-                pass
+        expired = (time.time() - mtime_ns / 1e9) > self.stale_after
+        if not (dead or expired):
+            return
+        # TOCTOU guard: between the staleness judgment above and the
+        # unlink below, another waiter may already have broken this lock
+        # and a third process re-created a *fresh* one at the same path —
+        # unlinking then would destroy a live lock.  Re-read immediately
+        # before unlinking and only remove the exact (pid, mtime)
+        # incarnation we judged stale.
+        if self._read_lock_info() != info:
+            return
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
 
     def _try_excl(self) -> bool:
         try:
@@ -155,6 +198,7 @@ class FileLock:
             return True
         t0 = time.perf_counter()
         first = True
+        delay = _POLL_MIN_S
         while True:
             try:
                 if self._try_once():
@@ -169,10 +213,17 @@ class FileLock:
             if first:
                 first = False
                 self.contended = True
-            if timeout is not None and (time.perf_counter() - t0) >= timeout:
-                self.waited_s = time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
+            if timeout is not None and elapsed >= timeout:
+                self.waited_s = elapsed
                 return False
-            time.sleep(_POLL_S)
+            # exponential backoff with jitter: N waiters parked on one
+            # long compile desynchronize instead of polling in lockstep
+            sleep_s = delay * random.uniform(0.5, 1.0)
+            if timeout is not None:
+                sleep_s = min(sleep_s, max(timeout - elapsed, 0.0))
+            time.sleep(sleep_s)
+            delay = min(delay * 2.0, _POLL_MAX_S)
 
     def release(self) -> None:
         """Drop the lock (idempotent; never raises)."""

@@ -56,9 +56,13 @@ Environment:
 * ``REPRO_FARM=0``        — disable cross-process single-flight (the
   in-process protocol is unaffected);
 * ``REPRO_FARM_LOCK_TIMEOUT_S`` — max seconds a worker blocks on another
-  process's compile before giving up and compiling itself (default 600).
+  process's compile before giving up and compiling itself (default 600);
+* ``REPRO_JITD=1``        — route leader compiles through the resident
+  compile daemon (:mod:`repro.jit.dclient`); every daemon failure falls
+  back to the farm path, counted in ``jit.daemon_fallbacks``.
 
-See docs/JIT_SERVICE.md and docs/COMPILE_FARM.md for the full protocol.
+See docs/JIT_SERVICE.md, docs/COMPILE_FARM.md and docs/COMPILE_DAEMON.md
+for the full protocol.
 """
 
 from __future__ import annotations
@@ -78,6 +82,7 @@ from repro.obs.trace import span as _span
 
 __all__ = [
     "compile_program",
+    "daemon_enabled",
     "farm_enabled",
     "farm_lock_timeout_s",
     "jit_workers",
@@ -126,6 +131,10 @@ _COUNTERS = {
         "farm_lock_wait_s",   # total seconds spent in those waits
         "farm_lock_timeouts", # gave up waiting and compiled uncoordinated
         "farm_dedup_hits",    # served by another process's compile
+        "daemon_requests",    # leader compiles routed to the jit daemon
+        "daemon_dedup_hits",  # requests served by a daemon-stored entry
+        "daemon_fallbacks",   # daemon failures degraded to the farm path
+        "daemon_wait_s",      # total seconds spent in daemon compile RPCs
     )
 }
 
@@ -136,7 +145,7 @@ _QUEUE_DEPTH = _M.gauge("jit.queue_depth")
 _PHASE_HIST = {
     name: _M.histogram(f"jit.phase.{name}")
     for name in ("translate_s", "backend_compile_s", "cached_lookup_s",
-                 "inflight_wait_s", "farm_wait_s")
+                 "inflight_wait_s", "farm_wait_s", "daemon_wait_s")
 }
 
 _POOL = None  # lazily-created ThreadPoolExecutor for background builds
@@ -173,6 +182,52 @@ def farm_lock_timeout_s() -> float:
     from repro.env import env_float
 
     return env_float("REPRO_FARM_LOCK_TIMEOUT_S", 600.0)
+
+
+def daemon_enabled() -> bool:
+    """Whether leader compiles route through the resident compile daemon
+    (``REPRO_JITD=1``; see docs/COMPILE_DAEMON.md)."""
+    from repro.jit.dclient import daemon_enabled as _enabled
+
+    return _enabled()
+
+
+def _try_daemon(key, daemon_job, backend_obj, opt, snapshot, recv_shape,
+                arg_shapes):
+    """Ask the resident daemon to compile ``key``, then hydrate the entry
+    it stored from the shared disk tier.
+
+    Returns ``(hit, wait_s, fallback_reason)``: a non-None ``hit`` means
+    the daemon compiled (or already held) this key and the local re-probe
+    found the entry; ``hit is None`` means the daemon could not serve us
+    — ``fallback_reason`` says why — and the caller proceeds down the
+    file-lock farm path exactly as if no daemon existed."""
+    from repro.jit import dclient
+
+    receiver, method, args = daemon_job
+    _bump("daemon_requests")
+    t0 = time.perf_counter()
+    try:
+        with _span("jit.daemon_compile", key=key.digest[:12]):
+            dclient.compile_job(
+                code_cache.cache_dir(), receiver, method, args,
+                backend=backend_obj.name, opt=opt.value,
+                expect_digest=key.digest,
+            )
+    except dclient.DaemonError as exc:
+        _bump("daemon_fallbacks")
+        return None, time.perf_counter() - t0, exc.reason
+    wait_s = time.perf_counter() - t0
+    _bump("daemon_wait_s", wait_s)
+    _PHASE_HIST["daemon_wait_s"].observe(wait_s)
+    with _LOCK:
+        hit = code_cache.lookup(key, snapshot=snapshot,
+                                recv_shape=recv_shape, arg_shapes=arg_shapes)
+    if hit is None:  # daemon claimed success but the entry is not visible
+        _bump("daemon_fallbacks")
+        return None, wait_s, "no-entry"
+    _bump("daemon_dedup_hits")
+    return hit, wait_s, ""
 
 
 def _acquire_farm_lock(key):
@@ -225,6 +280,7 @@ def stats() -> dict:
         out["workers"] = jit_workers()
         out["tiered_default"] = tiered_default()
         out["farm_enabled"] = farm_enabled()
+        out["daemon_enabled"] = daemon_enabled()
     return out
 
 
@@ -268,13 +324,17 @@ def compile_program(minfo, receiver, args, *, backend: str = "auto",
     with _span("jit.snapshot"):
         snapshot, recv_shape, arg_shapes = snapshot_args(receiver, args)
     snap_s = time.perf_counter() - t0
+    # what the daemon client would need to replay this compile remotely
+    # (shipped as a pickle; only used when REPRO_JITD routes the leader)
+    daemon_job = (receiver, minfo.name, args)
     if tiered and backend_obj.native:
         return _compile_tiered(minfo, snapshot, recv_shape, arg_shapes,
                                backend_obj, opt, use_cache,
-                               snap_s=snap_s, t_start=t0)
+                               snap_s=snap_s, t_start=t0,
+                               daemon_job=daemon_job)
     return _compile_sync(minfo, snapshot, recv_shape, arg_shapes,
                          backend_obj, opt, use_cache,
-                         snap_s=snap_s, t_start=t0)
+                         snap_s=snap_s, t_start=t0, daemon_job=daemon_job)
 
 
 def _hit_report(hit, *, opt, elapsed_s: float, deduped: bool,
@@ -342,8 +402,8 @@ def _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt, *,
 
 
 def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
-                  use_cache: bool, *, snap_s: float,
-                  t_start: float) -> "_engine.JitCode":
+                  use_cache: bool, *, snap_s: float, t_start: float,
+                  daemon_job=None) -> "_engine.JitCode":
     """The lock-protected probe / single-flight / store protocol."""
     if not use_cache:
         return _build(minfo, snapshot, recv_shape, arg_shapes, backend_obj,
@@ -378,16 +438,39 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
         if hit is not None:
             if deduped:
                 _bump("dedup_hits")
-            return _engine.JitCode(
-                hit.program, hit.compiled,
-                _hit_report(hit, opt=opt,
-                            elapsed_s=time.perf_counter() - t_start,
-                            deduped=deduped, wait_s=wait_s, tiered=False),
-            )
+            report = _hit_report(hit, opt=opt,
+                                 elapsed_s=time.perf_counter() - t_start,
+                                 deduped=deduped, wait_s=wait_s, tiered=False)
+            report.key_digest = key.digest
+            return _engine.JitCode(hit.program, hit.compiled, report)
         if leader:
             probe_s = time.perf_counter() - p0
             farm_lock = None
+            daemon_fb = ""
             try:
+                # resident-daemon path: hand the compile to the per-dir
+                # daemon and hydrate whatever it stored.  Any failure
+                # (down, skewed, killed mid-compile) degrades to the
+                # lock-file farm protocol below — the daemon is an
+                # accelerator, never a dependency.
+                if (daemon_job is not None and daemon_enabled()
+                        and key.persistable and code_cache.disk_enabled()):
+                    d_hit, d_wait, daemon_fb = _try_daemon(
+                        key, daemon_job, backend_obj, opt, snapshot,
+                        recv_shape, arg_shapes)
+                    if d_hit is not None:
+                        with _LOCK:
+                            _FLIGHTS.pop(key.digest, None)
+                        flight.done.set()
+                        report = _hit_report(
+                            d_hit, opt=opt,
+                            elapsed_s=time.perf_counter() - t_start,
+                            deduped=deduped, wait_s=wait_s, tiered=False)
+                        report.daemon_used = True
+                        report.daemon_wait_s = d_wait
+                        report.key_digest = key.digest
+                        return _engine.JitCode(d_hit.program, d_hit.compiled,
+                                               report)
                 # cross-process single-flight: win the on-disk entry lock
                 # before building.  If another process held it, it was
                 # compiling this very key — so on acquisition re-probe the
@@ -413,12 +496,16 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
                             deduped=deduped, wait_s=wait_s, tiered=False)
                         report.farm_dedup = True
                         report.farm_wait_s = farm_lock.waited_s
+                        report.daemon_fallback = daemon_fb
+                        report.key_digest = key.digest
                         return _engine.JitCode(hit.program, hit.compiled,
                                                report)
                 code = _build(minfo, snapshot, recv_shape, arg_shapes,
                               backend_obj, opt, snap_s=snap_s, probe_s=probe_s)
                 code.report.dedup_hit = deduped
                 code.report.inflight_wait_s = wait_s
+                code.report.daemon_fallback = daemon_fb
+                code.report.key_digest = key.digest
                 if farm_lock is not None:
                     code.report.farm_wait_s = farm_lock.waited_s
                 with _span("cache.store"), _LOCK:
@@ -459,8 +546,8 @@ def _compile_sync(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
 # ---------------------------------------------------------------------------
 
 def _compile_tiered(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
-                    use_cache: bool, *, snap_s: float,
-                    t_start: float) -> "_engine.JitCode":
+                    use_cache: bool, *, snap_s: float, t_start: float,
+                    daemon_job=None) -> "_engine.JitCode":
     """Answer on the py tier now; promote to ``backend_obj`` when its
     background build lands (or degrade gracefully if it fails)."""
     _bump("tiered_requests")
@@ -481,12 +568,11 @@ def _compile_tiered(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
             probe_sp.set(hit=hit is not None,
                          tier=hit.tier if hit is not None else "miss")
         if hit is not None:
-            return _engine.JitCode(
-                hit.program, hit.compiled,
-                _hit_report(hit, opt=opt,
-                            elapsed_s=time.perf_counter() - t_start,
-                            deduped=False, wait_s=0.0, tiered=True),
-            )
+            report = _hit_report(hit, opt=opt,
+                                 elapsed_s=time.perf_counter() - t_start,
+                                 deduped=False, wait_s=0.0, tiered=True)
+            report.key_digest = key.digest
+            return _engine.JitCode(hit.program, hit.compiled, report)
 
     from repro.backends.pybackend import PyBackend
 
@@ -501,6 +587,7 @@ def _compile_tiered(minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
                 native = _compile_sync(
                     minfo, snapshot, recv_shape, arg_shapes, backend_obj, opt,
                     use_cache, snap_s=0.0, t_start=time.perf_counter(),
+                    daemon_job=daemon_job,
                 )
             except BaseException as exc:  # noqa: BLE001 - degrade, never raise
                 _bump("tier_failures")

@@ -172,6 +172,116 @@ class TestFileLock:
         lock.release()
 
 
+class TestFileLockRaces:
+    """Regression tests for the three farm-lock races: the O_EXCL
+    stale-break TOCTOU, the flock unlink/reopen split-brain, and the
+    fixed-interval thundering-herd poll loop."""
+
+    def test_break_stale_excl_removes_dead_holder(self, tmp_path,
+                                                  monkeypatch):
+        from repro.jit import locks
+
+        monkeypatch.setattr(locks, "_fcntl", None)
+        monkeypatch.setattr(locks, "_pid_alive", lambda pid: False)
+        path = tmp_path / "k.lock"
+        path.write_text("12345")  # dead holder's abandoned lock
+        lk = FileLock(path)
+        lk._break_stale_excl()
+        assert not path.exists()
+        assert lk.acquire(timeout=0)  # and the path is usable again
+        lk.release()
+
+    def test_break_stale_excl_toctou_guard(self, tmp_path, monkeypatch):
+        """Between judging a lock stale and unlinking it, another waiter
+        broke it and a third process re-created a fresh one — the unlink
+        must be withheld or it destroys the live lock."""
+        from repro.jit import locks
+
+        monkeypatch.setattr(locks, "_fcntl", None)
+        monkeypatch.setattr(locks, "_pid_alive", lambda pid: False)
+        path = tmp_path / "k.lock"
+        path.write_text("12345")
+        lk = FileLock(path)
+        real = lk._read_lock_info
+        calls = {"n": 0}
+
+        def raced():
+            calls["n"] += 1
+            info = real()
+            if calls["n"] == 1:
+                return info  # the staleness judgment sees the old lock
+            # by re-verification time a fresh incarnation took the path
+            return (os.getpid(), info[1] + 1)
+
+        monkeypatch.setattr(lk, "_read_lock_info", raced)
+        lk._break_stale_excl()
+        assert calls["n"] == 2, "must re-read immediately before unlinking"
+        assert path.exists(), "guard let a live re-created lock be unlinked"
+
+    def test_flock_orphaned_inode_is_voided(self, tmp_path, monkeypatch):
+        """A waiter whose open() raced an unlink+re-create (cache eviction
+        dropping entry locks) must not count a flock on the orphaned inode
+        as an acquisition — otherwise it and the newcomer on the fresh
+        path are two simultaneous 'holders'."""
+        from repro.jit import locks
+
+        if locks._fcntl is None:
+            pytest.skip("flock backend unavailable")
+        path = tmp_path / "k.lock"
+        real_open = os.open
+        state = {"fired": False}
+
+        def racy_open(p, flags, mode=0o777, **kw):
+            fd = real_open(p, flags, mode, **kw)
+            if not state["fired"] and str(p) == str(path):
+                # between this open() and the flock(): eviction unlinks
+                # the lock file and a newcomer re-creates the path
+                state["fired"] = True
+                os.unlink(path)
+                os.close(real_open(str(path),
+                                   os.O_CREAT | os.O_WRONLY, 0o644))
+            return fd
+
+        monkeypatch.setattr(os, "open", racy_open)
+        b = FileLock(path)
+        assert b.acquire(timeout=2.0)  # voided the orphan, retried, won
+        assert state["fired"]
+        # the acquisition is on the *live* path, so exclusivity holds:
+        assert os.fstat(b._fd).st_ino == os.stat(path).st_ino
+        c = FileLock(path)
+        assert not c.acquire(timeout=0.05), "two holders: split-brain"
+        b.release()
+
+    def test_acquire_backs_off_exponentially_with_jitter(self, tmp_path,
+                                                         monkeypatch):
+        """The poll interval doubles from 1 ms to the 100 ms cap instead
+        of hammering at a fixed 10 ms, and ``waited_s`` stays accurate."""
+        from repro.jit import locks
+
+        holder = FileLock(tmp_path / "busy.lock")
+        assert holder.acquire(timeout=0)
+        sleeps: list[float] = []
+        clock = {"t": 0.0}
+        monkeypatch.setattr(locks.time, "perf_counter",
+                            lambda: clock["t"])
+
+        def fake_sleep(s):
+            sleeps.append(s)
+            clock["t"] += s
+
+        monkeypatch.setattr(locks.time, "sleep", fake_sleep)
+        b = FileLock(tmp_path / "busy.lock")
+        assert not b.acquire(timeout=2.0)
+        holder.release()
+        # a fixed 10 ms poll would need ~200 wakeups to cover 2 s
+        assert 10 < len(sleeps) < 60, sleeps
+        assert sleeps[0] <= locks._POLL_MIN_S
+        assert max(sleeps) <= locks._POLL_MAX_S
+        assert max(sleeps) > 10 * sleeps[0], "no growth: still fixed-rate"
+        assert len(set(sleeps)) > 1, "no jitter: lockstep wakeups"
+        assert b.waited_s == pytest.approx(2.0, abs=1e-6)
+
+
 # ---------------------------------------------------------------------------
 # LRU disk tier
 # ---------------------------------------------------------------------------

@@ -64,6 +64,7 @@ class TestShippedArtifacts:
             "EXPERIMENTS.md",
             "docs/CACHING.md",
             "docs/CFG.md",
+            "docs/COMPILE_DAEMON.md",
             "docs/COMPILE_FARM.md",
             "docs/FUZZING.md",
             "docs/GUEST_LANGUAGE.md",

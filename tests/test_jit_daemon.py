@@ -1,0 +1,283 @@
+"""The resident compile daemon (`repro jitd`) and its client.
+
+Covers: the length-prefixed JSON protocol end to end against an in-thread
+daemon (ping/handshake, probe, stats, compile via manifest recipe and via
+pickled job, digest-skew refusal, version-skew refusal, garbage frames),
+idle self-shutdown, exactly-one-daemon-per-dir via the pidfile lock (both
+in-process and against a real ``repro jitd serve`` subprocess), the
+service-layer integration (``REPRO_JITD=1`` routes the leader compile to
+the daemon, the client compiles nothing and hydrates the stored entry),
+and the hard-degradation guarantees: a daemon SIGKILLed mid-compile
+produces zero client errors — the request completes through the file-lock
+farm path with ``daemon_fallbacks`` counted — and a restarted daemon is
+picked up again without client restarts.  ``cache.clear()``'s sweep of a
+dead daemon's debris (and its refusal to touch a live one's) rides along.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import jit
+from repro.jit import cache as code_cache
+from repro.jit import daemon, dclient, service
+from repro.jit.engine import clear_code_cache
+from repro.jit.warmup import ManifestEntry, warm
+
+from tests.guestlib import ScaleAddSolver, Sweeper
+
+SRC_ROOT = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture()
+def jitd_dir(tmp_path, monkeypatch):
+    """A fresh cache dir with zeroed counters and no daemon env leakage;
+    any daemon started against it is stopped on teardown."""
+    root = tmp_path / "jitd-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    for var in ("REPRO_JITD", "REPRO_JITD_AUTOSPAWN", "REPRO_JITD_IDLE_S",
+                "REPRO_JITD_COMPILE_DELAY_S", "REPRO_JITD_RETRIES",
+                "REPRO_JITD_CONNECT_TIMEOUT_S", "REPRO_JITD_TIMEOUT_S"):
+        monkeypatch.delenv(var, raising=False)
+    clear_code_cache()
+    service.reset()
+    yield root
+    daemon.stop(root, wait_s=3.0)
+    service.reset()
+    clear_code_cache()
+
+
+@pytest.fixture()
+def thread_daemon(jitd_dir):
+    """An in-thread daemon serving ``jitd_dir`` (no subprocess, no idle
+    timeout) — protocol tests run against this."""
+    d = daemon.JitDaemon(jitd_dir, idle_timeout_s=0)
+    d.bind()
+    t = threading.Thread(target=d.serve_forever, daemon=True)
+    t.start()
+    yield jitd_dir
+    d.close()
+    t.join(timeout=3.0)
+
+
+def _entry(factor: float = 0.75) -> ManifestEntry:
+    return ManifestEntry(
+        factory="tests.guestlib:make_sweeper", method="run", args=[3],
+        factory_args=[factor, 9], backend="py")
+
+
+class TestProtocol:
+    def test_ping_handshake(self, thread_daemon):
+        resp = dclient.ping(thread_daemon)
+        assert resp["ok"] and resp["v"] == daemon.PROTOCOL_VERSION
+        assert resp["pid"] == os.getpid()  # in-thread daemon
+
+    def test_version_skew_is_refused(self, thread_daemon):
+        with socket.socket(socket.AF_UNIX) as sk:
+            sk.connect(str(daemon.socket_path(thread_daemon)))
+            daemon.send_message(sk, {"op": "ping", "v": 999})
+            resp = daemon.recv_message(sk)
+        assert not resp["ok"] and resp["error"] == "version-skew"
+        # the client maps protocol refusals onto DaemonError (request()
+        # stamps the correct v itself, so provoke one via an unknown op)
+        with pytest.raises(dclient.DaemonError) as err:
+            dclient.request(thread_daemon, {"op": "no-such-op"})
+        assert err.value.reason == "remote-error"
+
+    def test_garbage_frames_do_not_kill_the_daemon(self, thread_daemon):
+        with socket.socket(socket.AF_UNIX) as sk:
+            sk.connect(str(daemon.socket_path(thread_daemon)))
+            sk.sendall(b"GET / HTTP/1.1\r\n\r\n")  # absurd length prefix
+        with socket.socket(socket.AF_UNIX) as sk:
+            sk.connect(str(daemon.socket_path(thread_daemon)))
+            sk.sendall(b"\x00\x00\x00\x05notjs")  # non-JSON payload
+        assert dclient.ping(thread_daemon)["ok"]
+
+    def test_compile_recipe_probe_and_stats(self, thread_daemon):
+        first = dclient.compile_entry(thread_daemon, _entry().to_dict())
+        assert first["ok"] and not first["cache_hit"]
+        digest = first["digest"]
+        assert digest
+        probe = dclient.probe(thread_daemon, digest)
+        assert probe["memory"] and probe["disk"]
+        again = dclient.compile_entry(thread_daemon, _entry().to_dict())
+        assert again["cache_hit"] and again["tier"] == "memory"
+        assert again["digest"] == digest
+        st = dclient.stats(thread_daemon)
+        assert st["requests"]["compile"] == 2
+        assert st["service"]["compiles"] == 1
+        assert st["cache"]["memory_entries"] >= 1
+        assert st["metrics"].get("jit.compiles") == 1
+
+    def test_digest_skew_refused_not_trusted(self, thread_daemon):
+        with pytest.raises(dclient.DaemonError) as err:
+            dclient.compile_entry(thread_daemon, _entry().to_dict(),
+                                  expect_digest="0" * 64)
+        assert err.value.reason == "digest-skew"
+
+    def test_compile_pickled_job(self, thread_daemon):
+        app = Sweeper(ScaleAddSolver(0.5), 7)
+        resp = dclient.compile_job(thread_daemon, app, "run", (2,),
+                                   backend="py", opt="full")
+        assert resp["ok"] and resp["digest"]
+        assert dclient.probe(thread_daemon, resp["digest"])["disk"]
+
+
+class TestLifecycle:
+    def test_second_daemon_loses_pidfile_lock(self, thread_daemon):
+        rival = daemon.JitDaemon(thread_daemon, idle_timeout_s=0)
+        with pytest.raises(daemon.DaemonAlreadyRunning):
+            rival.bind()
+
+    def test_serve_subprocess_loses_to_live_daemon(self, thread_daemon):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "jitd", "serve",
+             "--dir", str(thread_daemon)],
+            env={**os.environ, "PYTHONPATH": SRC_ROOT},
+            capture_output=True, text=True, timeout=30)
+        assert proc.returncode == 1
+        assert "another daemon" in proc.stdout + proc.stderr
+
+    def test_idle_self_shutdown(self, jitd_dir):
+        d = daemon.JitDaemon(jitd_dir, idle_timeout_s=0.3)
+        d.bind()
+        t = threading.Thread(target=d.serve_forever, daemon=True)
+        t.start()
+        assert daemon.status(jitd_dir) is not None
+        t.join(timeout=5.0)
+        assert not t.is_alive(), "daemon did not shut itself down when idle"
+        assert daemon.status(jitd_dir) is None
+        assert not daemon.pidfile_path(jitd_dir).exists()
+
+    def test_start_status_stop_roundtrip(self, jitd_dir):
+        info = daemon.start(jitd_dir)
+        assert info["pid"] != os.getpid()
+        assert daemon.start(jitd_dir)["pid"] == info["pid"]  # idempotent
+        assert daemon.stop(jitd_dir)
+        assert daemon.status(jitd_dir) is None
+
+
+class TestServiceIntegration:
+    def test_leader_compiles_via_daemon(self, jitd_dir, monkeypatch):
+        daemon.start(jitd_dir)
+        monkeypatch.setenv("REPRO_JITD", "1")
+        code = jit(Sweeper(ScaleAddSolver(0.75), 9), "run", 3, backend="py")
+        r = code.report
+        assert r.daemon_used and r.daemon_fallback == ""
+        assert r.daemon_wait_s > 0 and r.key_digest
+        st = service.stats()
+        assert st["compiles"] == 0, "the client must not compile"
+        assert st["daemon_requests"] == 1
+        assert st["daemon_dedup_hits"] == 1
+        assert st["daemon_fallbacks"] == 0
+        remote = dclient.stats(jitd_dir)
+        assert remote["service"]["compiles"] == 1
+
+    def test_autospawn_on_first_use(self, jitd_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_JITD", "1")
+        assert daemon.status(jitd_dir) is None
+        code = jit(Sweeper(ScaleAddSolver(0.25), 8), "run", 2, backend="py")
+        assert code.report.daemon_used
+        assert daemon.status(jitd_dir) is not None
+
+    def test_kill_minus_nine_mid_compile_degrades_cleanly(
+            self, jitd_dir, monkeypatch):
+        # the daemon inherits the chaos delay; the client ignores it
+        monkeypatch.setenv("REPRO_JITD_COMPILE_DELAY_S", "5.0")
+        info = daemon.start(jitd_dir)
+        monkeypatch.delenv("REPRO_JITD_COMPILE_DELAY_S")
+        monkeypatch.setenv("REPRO_JITD", "1")
+        monkeypatch.setenv("REPRO_JITD_AUTOSPAWN", "0")
+        monkeypatch.setenv("REPRO_JITD_RETRIES", "0")
+        killer = threading.Timer(0.5, os.kill, (info["pid"], signal.SIGKILL))
+        killer.start()
+        try:
+            app = Sweeper(ScaleAddSolver(0.375), 9)
+            code = jit(app, "run", 3, backend="py")  # must not raise
+        finally:
+            killer.cancel()
+        r = code.report
+        assert not r.daemon_used
+        assert r.daemon_fallback != ""
+        assert service.stats()["daemon_fallbacks"] >= 1
+        assert service.stats()["compiles"] == 1  # fell back and compiled
+        # and the answer is the same one a daemon-less compile produces
+        expected = Sweeper(ScaleAddSolver(0.375), 9).run(3)
+        assert code.invoke().value == pytest.approx(expected)
+
+    def test_restart_then_reconnect(self, jitd_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_JITD", "1")
+        monkeypatch.setenv("REPRO_JITD_AUTOSPAWN", "0")
+        first = daemon.start(jitd_dir)
+        a = jit(Sweeper(ScaleAddSolver(0.125), 8), "run", 2, backend="py")
+        assert a.report.daemon_used
+        assert daemon.stop(jitd_dir)
+        second = daemon.start(jitd_dir)
+        assert second["pid"] != first["pid"]
+        b = jit(Sweeper(ScaleAddSolver(0.625), 8), "run", 2, backend="py")
+        assert b.report.daemon_used, "client did not reconnect after restart"
+
+    def test_main_defined_receiver_refused_before_round_trip(self, jitd_dir):
+        """A receiver whose class lives in ``__main__`` pickles fine by
+        reference but can never be imported by the daemon — the client
+        must classify it ``unpicklable`` without burning an RPC."""
+        sweeper = Sweeper(ScaleAddSolver(0.5), 8)
+        cls = type(sweeper)
+        fake = type(cls.__name__, (cls,), {"__module__": "__main__"})
+        fake_sweeper = fake(ScaleAddSolver(0.5), 8)
+        with pytest.raises(dclient.DaemonError) as ei:
+            dclient.compile_job(jitd_dir, fake_sweeper, "run", (2,),
+                                backend="py", opt="full")
+        assert ei.value.reason == "unpicklable"
+        assert not daemon.status(jitd_dir), "refusal must not spawn a daemon"
+
+    def test_daemon_disabled_by_default(self, jitd_dir):
+        code = jit(Sweeper(ScaleAddSolver(0.875), 8), "run", 2, backend="py")
+        r = code.report
+        assert not r.daemon_used and r.daemon_fallback == ""
+        assert service.stats()["daemon_requests"] == 0
+        assert not daemon.status(jitd_dir)
+
+
+class TestWarmupViaDaemon:
+    def test_warm_routes_through_daemon(self, jitd_dir):
+        daemon.start(jitd_dir)
+        report = warm([_entry(0.3), _entry(0.6)], daemon=True)
+        assert report["compiled"] == 2 and not report["errors"]
+        assert all(r["via"] == "daemon" for r in report["results"])
+        assert service.stats()["compiles"] == 0
+        assert dclient.stats(jitd_dir)["service"]["compiles"] == 2
+
+    def test_warm_degrades_without_daemon(self, jitd_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_JITD_AUTOSPAWN", "0")
+        monkeypatch.setenv("REPRO_JITD_RETRIES", "0")
+        report = warm([_entry(0.45)], daemon=True)
+        assert report["compiled"] == 1 and not report["errors"]
+        assert report["results"][0]["via"] == "local"
+
+
+class TestClearSweepsDaemonDebris:
+    def test_dead_daemon_files_removed(self, jitd_dir):
+        jitd_dir.mkdir(parents=True, exist_ok=True)
+        (jitd_dir / "jitd.sock").touch()
+        (jitd_dir / "jitd.pid").write_text("{}")
+        (jitd_dir / "jitd.lock").touch()
+        code_cache.clear()
+        assert not (jitd_dir / "jitd.sock").exists()
+        assert not (jitd_dir / "jitd.pid").exists()
+
+    def test_live_daemon_files_survive(self, thread_daemon):
+        assert daemon.pidfile_path(thread_daemon).exists()
+        code_cache.clear()
+        assert daemon.pidfile_path(thread_daemon).exists()
+        assert dclient.ping(thread_daemon)["ok"]
